@@ -1,0 +1,43 @@
+# transparentedge — build, test, and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table and figure of the paper (plus ablations).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Fuzz the YAML parser for a minute.
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 60s ./internal/yaml/
+
+# Print all experiments via the CLI.
+experiments:
+	$(GO) run ./cmd/edgesim all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videoanalytics
+	$(GO) run ./examples/multiservice
+	$(GO) run ./examples/hybrid
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/mobility
+	$(GO) run ./examples/serverless
+
+clean:
+	$(GO) clean -testcache

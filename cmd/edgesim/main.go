@@ -1,0 +1,220 @@
+// Command edgesim runs the paper's evaluation experiments on the simulated
+// C³ testbed and prints the tables and series of each figure.
+//
+// Usage:
+//
+//	edgesim [-seed N] [-scale F] [-requests N] <experiment>
+//
+// Experiments: table1, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+// fig16, hybrid, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	edge "transparentedge"
+)
+
+var (
+	seed     = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	scale    = flag.Float64("scale", 1, "trace scale in (0,1] for the trace-driven figures")
+	requests = flag.Int("requests", 200, "warm requests per service for fig16")
+	asCSV    = flag.Bool("csv", false, "emit tables as CSV (milliseconds) instead of text")
+)
+
+func printTable(t interface {
+	String() string
+	CSV() string
+}) {
+	if *asCSV {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	which := strings.ToLower(flag.Arg(0))
+	if err := run(which); err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: edgesim [flags] <experiment>
+
+Experiments (each reproduces one table/figure of the paper):
+  table1   Table I  — the four edge services and their images
+  fig9     Fig. 9   — request distribution (1708 requests / 42 services)
+  fig10    Fig. 10  — deployment distribution over five minutes
+  fig11    Fig. 11  — scale-up total time, Docker vs Kubernetes
+  fig12    Fig. 12  — create + scale-up total time
+  fig13    Fig. 13  — image pull times, public vs private registry
+  fig14    Fig. 14  — readiness wait after scale-up
+  fig15    Fig. 15  — readiness wait after create + scale-up
+  fig16    Fig. 16  — request time with running instances
+  hybrid   §VII     — Docker-first hybrid deployment
+  serverless        §VIII future work: WASM cold start vs containers
+  ablation-memory   FlowMemory on/off for returning clients
+  ablation-timeout  switch idle-timeout sweep
+  ablation-policy   with-waiting vs no-wait vs hybrid
+  ablation-proactive on-demand vs EWMA-predicted proactive deployment
+  ablation-probe    readiness-probe interval sweep
+  ablation-hierarchy fig. 3: cold vs far-warm vs near-warm first request
+  all      run everything
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(which string) error {
+	if which == "all" {
+		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
+			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
+			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy"} {
+			if err := run(w); err != nil {
+				return fmt.Errorf("%s: %w", w, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	switch which {
+	case "table1":
+		fmt.Print(edge.RunTableI().String())
+	case "fig9", "fig10":
+		res := edge.RunFig9And10(*seed)
+		fmt.Print(res.String())
+		if which == "fig9" {
+			printHistogram("requests/s", res.Trace.RequestsPerSecond(), 10)
+		} else {
+			printHistogram("deployments/s", res.DeploysPerSecond, 1)
+		}
+	case "fig11", "fig14":
+		res, err := edge.RunScaleUpStudy(*seed, true, *scale)
+		if err != nil {
+			return err
+		}
+		if which == "fig11" {
+			printTable(res.Totals)
+		} else {
+			printTable(res.ReadyWait)
+		}
+	case "fig12", "fig15":
+		res, err := edge.RunScaleUpStudy(*seed, false, *scale)
+		if err != nil {
+			return err
+		}
+		if which == "fig12" {
+			printTable(res.Totals)
+		} else {
+			printTable(res.ReadyWait)
+		}
+	case "fig13":
+		res, err := edge.RunFig13Pull(*seed)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+	case "fig16":
+		res, err := edge.RunFig16Warm(*seed, *requests)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+	case "hybrid":
+		res, err := edge.RunHybridStudy(*seed)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+		fmt.Printf("kubernetes took over future requests: %v\n", res.KubernetesTookOver)
+	case "serverless":
+		res, err := edge.RunFutureWorkServerless(*seed)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+	case "ablation-memory":
+		res, err := edge.RunAblationFlowMemory(*seed)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+		fmt.Printf("packet-ins: with memory %d, without %d\n", res.PacketInsWith, res.PacketInsWithout)
+	case "ablation-timeout":
+		res, err := edge.RunAblationIdleTimeout(*seed, nil)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+		fmt.Printf("packet-ins per setting: %v, peak flow rules: %v\n", res.PacketIns, res.FlowTableSizes)
+	case "ablation-policy":
+		res, err := edge.RunAblationWaitingPolicy(*seed)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+	case "ablation-hierarchy":
+		res, err := edge.RunAblationHierarchy(*seed)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+	case "ablation-probe":
+		res, err := edge.RunAblationProbeInterval(*seed, nil)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+	case "ablation-proactive":
+		res, err := edge.RunAblationProactive(*seed)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table)
+		fmt.Printf("proactive deployments: %d\n", res.ProactiveDeployments)
+	default:
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}
+
+// printHistogram renders counts-per-bin as an ASCII bar chart, aggregating
+// groupSecs bins per row.
+func printHistogram(label string, bins []int, groupSecs int) {
+	if groupSecs < 1 {
+		groupSecs = 1
+	}
+	max := 0
+	grouped := make([]int, 0, len(bins)/groupSecs+1)
+	for i := 0; i < len(bins); i += groupSecs {
+		sum := 0
+		for j := i; j < i+groupSecs && j < len(bins); j++ {
+			sum += bins[j]
+		}
+		grouped = append(grouped, sum)
+		if sum > max {
+			max = sum
+		}
+	}
+	if max == 0 {
+		return
+	}
+	fmt.Printf("%s over time:\n", label)
+	for i, v := range grouped {
+		bar := strings.Repeat("#", v*50/max)
+		fmt.Printf("%4ds %4d %s\n", i*groupSecs, v, bar)
+	}
+}

@@ -1,0 +1,95 @@
+// Command tracegen generates the bigFlows-like evaluation workload
+// (figs. 9/10) and prints it as a request list (CSV) or as summary
+// distributions.
+//
+// Usage:
+//
+//	tracegen [-seed N] [-services N] [-requests N] [-min N] [-clients N]
+//	         [-duration D] [-format csv|summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	edge "transparentedge"
+	"transparentedge/internal/workload"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "generation seed")
+		services = flag.Int("services", 42, "distinct edge services")
+		requests = flag.Int("requests", 1708, "total requests")
+		min      = flag.Int("min", 20, "minimum requests per service")
+		clients  = flag.Int("clients", 20, "number of client hosts")
+		duration = flag.Duration("duration", 5*time.Minute, "trace window")
+		format   = flag.String("format", "summary", "output format: csv or summary")
+		load     = flag.String("load", "", "load a trace CSV (e.g. exported from the real capture) instead of generating")
+	)
+	flag.Parse()
+
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		tr, err := workload.ParseCSV(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		emit(tr, *format)
+		return
+	}
+
+	cfg := edge.DefaultTraceConfig(*seed)
+	cfg.Services = *services
+	cfg.TotalRequests = *requests
+	cfg.MinPerService = *min
+	cfg.Clients = *clients
+	cfg.Duration = *duration
+	tr := edge.GenerateTrace(cfg)
+	emit(tr, *format)
+}
+
+func emit(tr *edge.Trace, format string) {
+	cfg := tr.Config
+	switch format {
+	case "csv":
+		fmt.Print(tr.MarshalCSV())
+	case "summary":
+		counts := tr.RequestsPerService()
+		minC, maxC := counts[0], counts[0]
+		for _, c := range counts {
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		fmt.Printf("trace: %d requests, %d services, %v window, %d clients\n",
+			len(tr.Requests), cfg.Services, cfg.Duration, cfg.Clients)
+		fmt.Printf("per service: min %d, max %d\n", minC, maxC)
+		fmt.Println("requests per service (fig. 9):")
+		for i, c := range counts {
+			fmt.Printf("  svc%02d %4d\n", i, c)
+		}
+		deploys := tr.DeploymentsPerSecond()
+		burst := 0
+		for _, d := range deploys {
+			if d > burst {
+				burst = d
+			}
+		}
+		fmt.Printf("deployments (fig. 10): %d total, max %d per second\n",
+			cfg.Services, burst)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", format)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,245 @@
+// Package transparentedge is the public API of the transparent-edge
+// reproduction: an SDN controller that transparently redirects client
+// requests for registered cloud services to nearby edge clusters and
+// deploys the containerized services on demand — either holding the first
+// request until the new instance is ready, or serving it from a farther
+// instance (or the cloud) while the optimal edge warms up.
+//
+// The package reproduces Hammer & Hellwagner, "Distributed On-Demand
+// Deployment for Transparent Access to 5G Edge Computing Services"
+// (IPDPS Workshops 2023) as a deterministic discrete-event simulation:
+// the C³ testbed (EGS, OVS switch, Raspberry Pi clients, registries), a
+// Docker-like engine and a miniature Kubernetes sharing one containerd
+// runtime, and the paper's SDN controller with FlowMemory, Dispatcher, and
+// pluggable Global/Local schedulers.
+//
+// Quick start:
+//
+//	tb := transparentedge.NewTestbed(transparentedge.TestbedOptions{
+//		Seed:         1,
+//		EnableDocker: true,
+//	})
+//	a, reg, _ := tb.RegisterCatalogService(transparentedge.Nginx)
+//	tb.K.Go("client", func(p *transparentedge.Proc) {
+//		res, _ := tb.Request(p, 0, reg, transparentedge.Nginx, 0)
+//		fmt.Println("first request:", res.Total, "->", a.UniqueName)
+//	})
+//	tb.K.RunUntil(time.Minute)
+//
+// The experiment runners (RunTableI, RunScaleUpStudy, ...) regenerate every
+// table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package transparentedge
+
+import (
+	"time"
+
+	"transparentedge/internal/catalog"
+	"transparentedge/internal/cluster"
+	"transparentedge/internal/core"
+	"transparentedge/internal/experiments"
+	"transparentedge/internal/metrics"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+	"transparentedge/internal/spec"
+	"transparentedge/internal/testbed"
+	"transparentedge/internal/workload"
+)
+
+// Simulation kernel types. All latencies in this library are composed on a
+// deterministic virtual clock.
+type (
+	// Kernel is the discrete-event simulation executor.
+	Kernel = sim.Kernel
+	// Proc is a simulation process; blocking operations suspend it in
+	// virtual time.
+	Proc = sim.Proc
+)
+
+// NewKernel returns a simulation kernel seeded for reproducibility.
+func NewKernel(seed int64) *Kernel { return sim.New(seed) }
+
+// Network and service types.
+type (
+	// Addr is a network address.
+	Addr = simnet.Addr
+	// Bytes is a payload size.
+	Bytes = simnet.Bytes
+	// HTTPResult is one measured request (connect and total time).
+	HTTPResult = simnet.HTTPResult
+	// Registration identifies a registered edge service by its cloud
+	// address (domain/IP and port).
+	Registration = spec.Registration
+	// Annotated is a deployment-ready, automatically annotated service
+	// definition.
+	Annotated = spec.Annotated
+	// Instance is a running service instance endpoint in some cluster.
+	Instance = cluster.Instance
+)
+
+// Controller types (the paper's contribution).
+type (
+	// Controller is the SDN controller: transparent redirection,
+	// FlowMemory, Dispatcher, and on-demand deployment.
+	Controller = core.Controller
+	// ControllerConfig configures the controller.
+	ControllerConfig = core.Config
+	// GlobalScheduler chooses the FAST (current request) and BEST (future
+	// requests) edge clusters.
+	GlobalScheduler = core.GlobalScheduler
+	// SchedulerState is the scheduling input for one request.
+	SchedulerState = core.State
+	// SchedulerChoice is a Global Scheduler's decision.
+	SchedulerChoice = core.Choice
+	// DeployRecord captures per-phase deployment timings
+	// (Pull/Create/ScaleUp/ReadyWait).
+	DeployRecord = core.DeployRecord
+	// FlowMemory memorizes installed redirect flows.
+	FlowMemory = core.FlowMemory
+)
+
+// NewScheduler loads a Global Scheduler by configuration name; see
+// SchedulerNames for the built-ins ("proximity", "wait-nearest", "no-wait",
+// "docker-first").
+func NewScheduler(name string) (GlobalScheduler, error) { return core.NewScheduler(name) }
+
+// RegisterScheduler adds a custom Global Scheduler under a configuration
+// name (the paper's dynamically loaded scheduler plug-ins).
+func RegisterScheduler(name string, factory func() GlobalScheduler) {
+	core.RegisterScheduler(name, factory)
+}
+
+// SchedulerNames lists the registered Global Scheduler names.
+func SchedulerNames() []string { return core.SchedulerNames() }
+
+// Testbed types: the simulated C³ evaluation setup (fig. 8).
+type (
+	// Testbed is the assembled simulation: switch, EGS, clients,
+	// registries, clusters, and controller.
+	Testbed = testbed.Testbed
+	// TestbedOptions selects what to build.
+	TestbedOptions = testbed.Options
+)
+
+// NewTestbed assembles a simulated C³ testbed.
+func NewTestbed(opts TestbedOptions) *Testbed { return testbed.New(opts) }
+
+// Cluster kind tags.
+const (
+	KindDocker     = testbed.KindDocker
+	KindKubernetes = testbed.KindKubernetes
+)
+
+// The paper's Table I service keys.
+const (
+	Asm     = catalog.Asm
+	Nginx   = catalog.Nginx
+	ResNet  = catalog.ResNet
+	NginxPy = catalog.NginxPy
+)
+
+// ServiceKeys returns the Table I service keys in order.
+func ServiceKeys() []string { return catalog.Keys() }
+
+// Workload types: the bigFlows-derived evaluation trace (figs. 9/10).
+type (
+	// Trace is a generated request trace.
+	Trace = workload.Trace
+	// TraceConfig parameterizes trace generation.
+	TraceConfig = workload.Config
+	// ReplayResult aggregates one trace replay.
+	ReplayResult = workload.ReplayResult
+)
+
+// DefaultTraceConfig reproduces the paper's trace parameters (42 services,
+// 1708 requests, 5 minutes, >=20 requests per service).
+func DefaultTraceConfig(seed int64) TraceConfig { return workload.DefaultConfig(seed) }
+
+// GenerateTrace synthesizes a trace.
+func GenerateTrace(cfg TraceConfig) *Trace { return workload.Generate(cfg) }
+
+// ReplayTrace replays a trace against a testbed with one of the Table I
+// service types; see workload.Replay for the pre-pull/pre-create knobs.
+func ReplayTrace(tb *Testbed, tr *Trace, serviceKey string, prePull, preCreate bool) (*ReplayResult, error) {
+	return workload.Replay(tb, tr, serviceKey, prePull, preCreate)
+}
+
+// Metrics types.
+type (
+	// Series is a latency sample collection with medians/percentiles.
+	Series = metrics.Series
+	// ResultTable is a rendered experiment table.
+	ResultTable = metrics.Table
+)
+
+// Experiment runners — one per table/figure of the paper's evaluation.
+
+// RunTableI reproduces Table I from the catalog.
+func RunTableI() experiments.TableIResult { return experiments.TableI() }
+
+// RunFig9And10 generates the evaluation trace and its distributions.
+func RunFig9And10(seed int64) experiments.TraceResult { return experiments.Fig9And10(seed) }
+
+// RunScaleUpStudy reproduces figs. 11/14 (preCreate=true) or figs. 12/15
+// (preCreate=false). scale in (0,1] shrinks the trace for quick runs.
+func RunScaleUpStudy(seed int64, preCreate bool, scale float64) (*experiments.ScaleUpResult, error) {
+	return experiments.ScaleUpStudy(seed, preCreate, scale)
+}
+
+// RunFig13Pull reproduces fig. 13 (pull times per registry placement).
+func RunFig13Pull(seed int64) (*experiments.PullResult, error) { return experiments.Fig13Pull(seed) }
+
+// RunFig16Warm reproduces fig. 16 (requests to running instances).
+func RunFig16Warm(seed int64, requests int) (*experiments.WarmResult, error) {
+	return experiments.Fig16Warm(seed, requests)
+}
+
+// RunHybridStudy reproduces the §VII Docker-then-Kubernetes comparison.
+func RunHybridStudy(seed int64) (*experiments.HybridResult, error) {
+	return experiments.HybridStudy(seed)
+}
+
+// Ablation and future-work runners (beyond the paper's figures; see
+// DESIGN.md §4).
+
+// RunAblationFlowMemory quantifies §V's FlowMemory design argument.
+func RunAblationFlowMemory(seed int64) (*experiments.FlowMemoryResult, error) {
+	return experiments.AblationFlowMemory(seed)
+}
+
+// RunAblationIdleTimeout sweeps the switch-side idle timeout.
+func RunAblationIdleTimeout(seed int64, timeouts []time.Duration) (*experiments.IdleTimeoutResult, error) {
+	return experiments.AblationIdleTimeout(seed, timeouts)
+}
+
+// RunAblationWaitingPolicy compares the §IV deployment policies.
+func RunAblationWaitingPolicy(seed int64) (*experiments.WaitingPolicyResult, error) {
+	return experiments.AblationWaitingPolicy(seed)
+}
+
+// RunFutureWorkServerless runs the §VIII serverless cold-start comparison.
+func RunFutureWorkServerless(seed int64) (*experiments.ServerlessResult, error) {
+	return experiments.FutureWorkServerless(seed)
+}
+
+// RunAblationProactive compares on-demand vs. EWMA-predicted proactive
+// deployment for a periodic client.
+func RunAblationProactive(seed int64) (*experiments.ProactiveResult, error) {
+	return experiments.AblationProactive(seed)
+}
+
+// NewEWMAPredictor returns the built-in inter-arrival predictor for
+// proactive deployment.
+func NewEWMAPredictor(alpha float64) *core.EWMAPredictor { return core.NewEWMAPredictor(alpha) }
+
+// Predictor forecasts upcoming service demand for proactive deployment.
+type Predictor = core.Predictor
+
+// RunAblationProbeInterval sweeps the readiness-probe interval.
+func RunAblationProbeInterval(seed int64, intervals []time.Duration) (*experiments.ProbeResult, error) {
+	return experiments.AblationProbeInterval(seed, intervals)
+}
+
+// RunAblationHierarchy quantifies fig. 3's hierarchy argument.
+func RunAblationHierarchy(seed int64) (*experiments.HierarchyResult, error) {
+	return experiments.AblationHierarchy(seed)
+}

@@ -1,0 +1,71 @@
+// Trace replay: the paper's evaluation workload end to end (figs. 9-12).
+//
+// Generates the bigFlows-like trace (1708 requests to 42 services over five
+// minutes), registers 42 nginx edge services, replays the trace against the
+// Docker edge cluster with cached images (the fig. 11 condition), and
+// prints the request/deployment distributions plus the first-request and
+// warm-request medians.
+//
+// Run with: go run ./examples/tracereplay
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	edge "transparentedge"
+)
+
+func main() {
+	trace := edge.GenerateTrace(edge.DefaultTraceConfig(42))
+	fmt.Printf("trace: %d requests to %d services over %v\n",
+		len(trace.Requests), trace.Config.Services, trace.Config.Duration)
+
+	fmt.Println("\nfig. 9 — requests per service (sorted):")
+	counts := trace.RequestsPerService()
+	printBars(counts, 12)
+
+	fmt.Println("\nfig. 10 — deployments per second (first minute):")
+	deploys := trace.DeploymentsPerSecond()
+	if len(deploys) > 60 {
+		deploys = deploys[:60]
+	}
+	for sec, n := range deploys {
+		if n > 0 {
+			fmt.Printf("  t=%3ds %2d %s\n", sec, n, strings.Repeat("#", n*4))
+		}
+	}
+
+	tb := edge.NewTestbed(edge.TestbedOptions{Seed: 42, EnableDocker: true})
+	res, err := edge.ReplayTrace(tb, trace, edge.Nginx, true, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nreplay on egs-docker: %d requests measured, %d errors\n",
+		res.Totals.Len(), res.Errors)
+	fmt.Printf("  first requests (deployment-triggering, fig. 11): median %v, p95 %v\n",
+		res.FirstRequests.Median(), res.FirstRequests.Percentile(95))
+	fmt.Printf("  all requests:                                    median %v, p95 %v\n",
+		res.Totals.Median(), res.Totals.Percentile(95))
+	fmt.Printf("  deployments executed: %d\n", len(tb.Ctrl.RecordsFor("egs-docker", "")))
+}
+
+func printBars(counts []int, rows int) {
+	sorted := append([]int(nil), counts...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	max := sorted[0]
+	for i, c := range sorted {
+		if i >= rows {
+			fmt.Printf("  ... and %d more services (down to %d requests)\n",
+				len(sorted)-rows, sorted[len(sorted)-1])
+			break
+		}
+		fmt.Printf("  #%02d %4d %s\n", i+1, c, strings.Repeat("#", c*40/max))
+	}
+}

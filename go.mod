@@ -1,0 +1,3 @@
+module transparentedge
+
+go 1.22

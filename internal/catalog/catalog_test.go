@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"testing"
+
+	"transparentedge/internal/simnet"
+	"transparentedge/internal/spec"
+)
+
+// TestTableI validates the catalog against the paper's Table I: image
+// sizes, layer counts, container counts, and HTTP methods.
+func TestTableI(t *testing.T) {
+	images := map[string]struct {
+		size   simnet.Bytes
+		layers int
+	}{}
+	for _, img := range Images() {
+		images[img.Ref] = struct {
+			size   simnet.Bytes
+			layers int
+		}{img.TotalSize(), len(img.Layers)}
+	}
+
+	cases := []struct {
+		key        string
+		sizeMin    simnet.Bytes
+		sizeMax    simnet.Bytes
+		layers     int
+		containers int
+		method     string
+	}{
+		{Asm, 6 * simnet.KiB, 7 * simnet.KiB, 1, 1, "GET"},         // 6.18 KiB / 1
+		{Nginx, 135 * simnet.MiB, 135 * simnet.MiB, 6, 1, "GET"},   // 135 MiB / 6
+		{ResNet, 308 * simnet.MiB, 308 * simnet.MiB, 9, 1, "POST"}, // 308 MiB / 9
+		{NginxPy, 181 * simnet.MiB, 181 * simnet.MiB, 7, 2, "GET"}, // 181 MiB / 7
+	}
+	for _, c := range cases {
+		s, err := Get(c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total simnet.Bytes
+		layers := 0
+		for _, ref := range s.Images {
+			info, ok := images[ref]
+			if !ok {
+				t.Fatalf("%s: image %s not in catalog", c.key, ref)
+			}
+			total += info.size
+			layers += info.layers
+		}
+		if total < c.sizeMin || total > c.sizeMax {
+			t.Errorf("%s: total size = %d, want in [%d,%d]", c.key, total, c.sizeMin, c.sizeMax)
+		}
+		if layers != c.layers {
+			t.Errorf("%s: layers = %d, want %d", c.key, layers, c.layers)
+		}
+		if s.Containers != c.containers || len(s.Images) != c.containers {
+			t.Errorf("%s: containers = %d/%d, want %d", c.key, s.Containers, len(s.Images), c.containers)
+		}
+		if s.HTTPMethod != c.method {
+			t.Errorf("%s: method = %s, want %s", c.key, s.HTTPMethod, c.method)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("Apache"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestYAMLDefinitionsParseAndAnnotate(t *testing.T) {
+	for _, s := range Services() {
+		def, err := spec.Parse(s.YAML)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", s.Key, err)
+		}
+		a, err := spec.Annotate(def, spec.Registration{
+			Domain: s.Key + ".example.com", VIP: "203.0.113.10", Port: 80,
+		}, spec.Options{})
+		if err != nil {
+			t.Fatalf("%s: annotate: %v", s.Key, err)
+		}
+		if len(a.Containers) != s.Containers {
+			t.Errorf("%s: parsed containers = %d, want %d", s.Key, len(a.Containers), s.Containers)
+		}
+		for i, cs := range a.Containers {
+			if cs.Image != s.Images[i] {
+				t.Errorf("%s: container %d image = %s, want %s", s.Key, i, cs.Image, s.Images[i])
+			}
+		}
+	}
+}
+
+func TestBehaviorsCoverAllImages(t *testing.T) {
+	b := Behaviors()
+	for _, img := range Images() {
+		if _, ok := b[img.Ref]; !ok {
+			t.Errorf("no behavior for image %s", img.Ref)
+		}
+	}
+	// Calibration sanity: ResNet init dominates; Asm is negligible.
+	if b[ImgResNet].InitDelay < 50*b[ImgAsm].InitDelay {
+		t.Error("ResNet init should dwarf Asm init")
+	}
+	if b[ImgPy].ServiceTime != 0 {
+		t.Error("env-writer-py exposes no HTTP service")
+	}
+}
+
+func TestRequestShapes(t *testing.T) {
+	if r := Request(ResNet); r.Method != "POST" || r.Size != 83*simnet.KiB {
+		t.Errorf("ResNet request = %+v", r)
+	}
+	if r := Request(Asm); r.Method != "GET" {
+		t.Errorf("Asm request = %+v", r)
+	}
+	if r := Request("nope"); r.Method != "GET" {
+		t.Errorf("fallback request = %+v", r)
+	}
+}
+
+func TestNginxPyReusesNginxLayers(t *testing.T) {
+	// The paper notes shared base layers shorten pulls: Nginx+Py must
+	// reference the same nginx image (not a copy with new digests).
+	var nginxDigests, comboDigests map[string]bool
+	for _, img := range Images() {
+		if img.Ref == ImgNginx {
+			nginxDigests = map[string]bool{}
+			for _, l := range img.Layers {
+				nginxDigests[l.Digest] = true
+			}
+		}
+	}
+	combo, _ := Get(NginxPy)
+	comboDigests = map[string]bool{}
+	for _, ref := range combo.Images {
+		for _, img := range Images() {
+			if img.Ref == ref {
+				for _, l := range img.Layers {
+					comboDigests[l.Digest] = true
+				}
+			}
+		}
+	}
+	shared := 0
+	for d := range nginxDigests {
+		if comboDigests[d] {
+			shared++
+		}
+	}
+	if shared != len(nginxDigests) {
+		t.Fatalf("shared layers = %d, want all %d nginx layers", shared, len(nginxDigests))
+	}
+}

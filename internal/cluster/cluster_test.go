@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+)
+
+func TestBehaviorHandlerSleepsAndResponds(t *testing.T) {
+	k := sim.New(1)
+	b := Behavior{ServiceTime: 25 * time.Millisecond, RespSize: 2 * simnet.KiB}
+	h := b.Handler()
+	var resp *simnet.HTTPResponse
+	var took time.Duration
+	k.Go("t", func(p *sim.Proc) {
+		start := p.Now()
+		resp = h(p, &simnet.HTTPRequest{Method: "GET"})
+		took = p.Now() - start
+	})
+	k.Run()
+	if resp.Status != 200 || resp.Size != 2*simnet.KiB {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if took != 25*time.Millisecond {
+		t.Fatalf("service time = %v, want 25ms", took)
+	}
+}
+
+func TestBehaviorHandlerZeroServiceTime(t *testing.T) {
+	k := sim.New(1)
+	h := Behavior{}.Handler()
+	var took time.Duration
+	k.Go("t", func(p *sim.Proc) {
+		start := p.Now()
+		h(p, &simnet.HTTPRequest{})
+		took = p.Now() - start
+	})
+	k.Run()
+	if took != 0 {
+		t.Fatalf("zero-behavior handler slept %v", took)
+	}
+}
+
+func TestStaticBehaviorsLookup(t *testing.T) {
+	s := StaticBehaviors{
+		"img:1": {InitDelay: time.Second},
+	}
+	if got := s.Behavior("img:1"); got.InitDelay != time.Second {
+		t.Fatalf("got %+v", got)
+	}
+	if got := s.Behavior("unknown"); got != (Behavior{}) {
+		t.Fatalf("unknown image behavior = %+v, want zero", got)
+	}
+}

@@ -1,0 +1,637 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"transparentedge/internal/cluster"
+	"transparentedge/internal/openflow"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+	"transparentedge/internal/spec"
+)
+
+// DistanceFunc ranks a cluster's proximity to a client (lower = closer).
+// The testbed provides a topology-aware implementation.
+type DistanceFunc func(client simnet.Addr, cl cluster.Cluster) int
+
+// Config configures the controller.
+type Config struct {
+	// Scheduler is the Global Scheduler (see RegisterScheduler /
+	// NewScheduler for name-based loading).
+	Scheduler GlobalScheduler
+	// LocalSchedulerName, when set, is annotated into every service
+	// definition as the Kubernetes schedulerName (§V).
+	LocalSchedulerName string
+	// SwitchIdleTimeout is the idle timeout of installed switch flows —
+	// kept low because the FlowMemory re-serves returning clients (§V).
+	SwitchIdleTimeout time.Duration
+	// MemoryIdleTimeout is the FlowMemory's (longer) idle timeout.
+	MemoryIdleTimeout time.Duration
+	// ProbeInterval is the pause between readiness probes.
+	ProbeInterval time.Duration
+	// ProbeDialTimeout bounds a single probe attempt.
+	ProbeDialTimeout time.Duration
+	// StateQueryLatency is charged per cluster when the Dispatcher
+	// gathers the list of existing and running instances (fig. 7) — the
+	// Docker / Kubernetes API round trips of the paper's Python client
+	// libraries. Memory-served requests skip this entirely (§V).
+	StateQueryLatency time.Duration
+	// FlowPriority/PuntPriority order the redirect vs. packet-in rules.
+	FlowPriority int
+	PuntPriority int
+	// AutoScaleDown scales a service down once its last memorized flow
+	// expires (§V: "our controller may automatically scale down idle edge
+	// service instances").
+	AutoScaleDown bool
+	// Distance ranks clusters per client; nil means all distances are 0.
+	Distance DistanceFunc
+	// InstancePicker chooses among multiple ready instances of a service
+	// within the selected cluster (the Local Scheduler's traffic-level
+	// role, fig. 6); nil keeps the cluster's primary endpoint.
+	InstancePicker InstancePicker
+	// RuntimeClassKinds maps a service's runtimeClassName to the cluster
+	// kinds that can run it (§VIII side-by-side operation). Nil installs
+	// the defaults: "" -> {docker, kubernetes}, "wasm" -> {serverless}.
+	RuntimeClassKinds map[string][]string
+	// Log, when set, receives controller event lines (for the examples).
+	Log func(format string, args ...any)
+}
+
+// DefaultConfig returns the controller defaults used in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Scheduler:         ProximityScheduler{},
+		SwitchIdleTimeout: 10 * time.Second,
+		MemoryIdleTimeout: 2 * time.Minute,
+		ProbeInterval:     20 * time.Millisecond,
+		ProbeDialTimeout:  500 * time.Millisecond,
+		StateQueryLatency: 8 * time.Millisecond,
+		FlowPriority:      100,
+		PuntPriority:      50,
+	}
+}
+
+type addrPort struct {
+	ip   simnet.Addr
+	port int
+}
+
+type clusterEntry struct {
+	c    cluster.Cluster
+	kind string
+}
+
+type switchFlowKey struct {
+	sw *openflow.Switch
+	fk FlowKey
+}
+
+// Stats are controller-level counters.
+type Stats struct {
+	PacketIns     uint64 // packet-ins dispatched
+	MemoryServed  uint64 // served from FlowMemory without scheduling
+	CloudForwards uint64 // requests forwarded toward the cloud
+	Deployments   uint64 // deployments triggered (any phase ran)
+	Redirections  uint64 // FlowMemory entries re-pointed to a BEST instance
+	// ProactiveDeployments counts deployments initiated by the predictor.
+	ProactiveDeployments uint64
+}
+
+// Controller is the SDN controller: it owns the registered services, the
+// FlowMemory, the Dispatcher logic, and the deployment engine.
+type Controller struct {
+	k         *sim.Kernel
+	cfg       Config
+	probeHost *simnet.Host
+	switches  []*openflow.Switch
+	clusters  []clusterEntry
+	services  map[addrPort]*spec.Annotated
+	byName    map[string]*spec.Annotated
+	regByName map[string]spec.Registration
+	Memory    *FlowMemory
+	deploy    *deployer
+	records   []DeployRecord
+	clientLoc map[simnet.Addr]ClientLocation
+	cookies   map[switchFlowKey]uint64
+	cookieSeq uint64
+	predictor Predictor
+	Stats     Stats
+}
+
+// ClientLocation is the dispatcher's record of where a client was last seen
+// (§IV-B: "this component also tracks the clients' current location").
+type ClientLocation struct {
+	Switch *openflow.Switch
+	InPort int
+	SeenAt sim.Time
+}
+
+// New creates a controller. probeHost is the host the controller's
+// readiness probes originate from (the EGS in the paper's testbed).
+func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = ProximityScheduler{}
+	}
+	if cfg.SwitchIdleTimeout <= 0 {
+		cfg.SwitchIdleTimeout = 10 * time.Second
+	}
+	if cfg.MemoryIdleTimeout <= 0 {
+		cfg.MemoryIdleTimeout = 2 * time.Minute
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 20 * time.Millisecond
+	}
+	if cfg.ProbeDialTimeout <= 0 {
+		cfg.ProbeDialTimeout = 500 * time.Millisecond
+	}
+	if cfg.FlowPriority == 0 {
+		cfg.FlowPriority = 100
+	}
+	if cfg.PuntPriority == 0 {
+		cfg.PuntPriority = 50
+	}
+	c := &Controller{
+		k:         k,
+		cfg:       cfg,
+		probeHost: probeHost,
+		services:  make(map[addrPort]*spec.Annotated),
+		byName:    make(map[string]*spec.Annotated),
+		regByName: make(map[string]spec.Registration),
+		clientLoc: make(map[simnet.Addr]ClientLocation),
+		cookies:   make(map[switchFlowKey]uint64),
+	}
+	if c.cfg.RuntimeClassKinds == nil {
+		c.cfg.RuntimeClassKinds = map[string][]string{
+			"":     {"docker", "kubernetes"},
+			"wasm": {"serverless"},
+		}
+	}
+	c.Memory = NewFlowMemory(k, cfg.MemoryIdleTimeout)
+	c.Memory.OnIdleInstance = c.onIdleInstance
+	c.deploy = newDeployer(c)
+	return c
+}
+
+// Kernel returns the kernel the controller runs on.
+func (c *Controller) Kernel() *sim.Kernel { return c.k }
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log(format, args...)
+	}
+}
+
+// AddSwitch attaches the controller to a switch and installs the packet-in
+// punt rules for every registered service.
+func (c *Controller) AddSwitch(sw *openflow.Switch) {
+	c.switches = append(c.switches, sw)
+	sw.SetController(c)
+	for ap := range c.services {
+		c.installPunt(sw, ap)
+	}
+}
+
+// AddCluster registers an edge cluster under a kind tag ("docker",
+// "kubernetes", ...) the schedulers can select on.
+func (c *Controller) AddCluster(cl cluster.Cluster, kind string) {
+	c.clusters = append(c.clusters, clusterEntry{c: cl, kind: kind})
+}
+
+// Clusters returns the registered clusters in registration order.
+func (c *Controller) Clusters() []cluster.Cluster {
+	out := make([]cluster.Cluster, len(c.clusters))
+	for i, e := range c.clusters {
+		out[i] = e.c
+	}
+	return out
+}
+
+// RegisterService registers an edge service: the YAML definition is parsed
+// and annotated (§V), and every switch gets a punt rule so requests to the
+// service address reach the controller.
+func (c *Controller) RegisterService(yamlSrc string, reg spec.Registration) (*spec.Annotated, error) {
+	def, err := spec.Parse(yamlSrc)
+	if err != nil {
+		return nil, err
+	}
+	a, err := spec.Annotate(def, reg, spec.Options{SchedulerName: c.cfg.LocalSchedulerName})
+	if err != nil {
+		return nil, err
+	}
+	ap := addrPort{reg.VIP, reg.Port}
+	if _, dup := c.services[ap]; dup {
+		return nil, fmt.Errorf("core: service address %s:%d already registered", reg.VIP, reg.Port)
+	}
+	c.services[ap] = a
+	c.byName[a.UniqueName] = a
+	c.regByName[a.UniqueName] = reg
+	for _, sw := range c.switches {
+		c.installPunt(sw, ap)
+	}
+	c.logf("registered service %s at %s:%d", a.UniqueName, reg.VIP, reg.Port)
+	return a, nil
+}
+
+// Service returns the annotated definition registered at vip:port.
+func (c *Controller) Service(vip simnet.Addr, port int) (*spec.Annotated, bool) {
+	a, ok := c.services[addrPort{vip, port}]
+	return a, ok
+}
+
+// ServiceNames returns the registered unique service names (sorted).
+func (c *Controller) ServiceNames() []string {
+	names := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Controller) installPunt(sw *openflow.Switch, ap addrPort) {
+	sw.AddFlow(openflow.FlowRule{
+		Priority: c.cfg.PuntPriority,
+		Match:    openflow.Match{DstIP: ap.ip, DstPort: ap.port},
+		Actions:  openflow.Actions{Output: openflow.OutputController},
+	})
+}
+
+// ClientLocation returns where a client was last seen.
+func (c *Controller) ClientLocation(ip simnet.Addr) (ClientLocation, bool) {
+	loc, ok := c.clientLoc[ip]
+	return loc, ok
+}
+
+// HandlePacketIn implements openflow.Controller: the fig. 7 dispatching
+// algorithm. Runs in kernel context; long work is spawned as a process
+// while the packet stays held.
+func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
+	pkt := ev.Packet
+	c.Stats.PacketIns++
+	c.clientLoc[pkt.SrcIP] = ClientLocation{Switch: ev.Switch, InPort: ev.InPort, SeenAt: c.k.Now()}
+	svc, ok := c.services[addrPort{pkt.DstIP, pkt.DstPort}]
+	if !ok {
+		// Not a registered service: forward normally.
+		ev.Switch.PacketOut(pkt, openflow.Actions{Output: openflow.OutputNormal})
+		return
+	}
+	if c.predictor != nil {
+		c.predictor.Observe(svc.UniqueName, c.k.Now())
+	}
+	fk := FlowKey{Client: pkt.SrcIP, VIP: pkt.DstIP, Port: pkt.DstPort}
+	if inst, ok := c.Memory.Get(fk); ok && c.instanceAlive(inst) {
+		// Memorized flow: reinstall switch rules without scheduling (§V).
+		c.Stats.MemoryServed++
+		c.installRedirect(ev.Switch, fk, inst)
+		ev.Switch.TableOut(pkt)
+		return
+	}
+	c.k.Go("dispatch:"+string(pkt.SrcIP), func(p *sim.Proc) {
+		c.dispatch(p, ev, svc, fk)
+	})
+}
+
+// HandleFlowRemoved implements openflow.Controller. Switch flows are
+// intentionally short-lived (the FlowMemory outlives them), so nothing
+// needs to happen here.
+func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, rule *openflow.FlowRule) {}
+
+func (c *Controller) instanceAlive(inst cluster.Instance) bool {
+	for _, e := range c.clusters {
+		if e.c.Name() != inst.Cluster {
+			continue
+		}
+		ep, ok := e.c.Endpoint(inst.Service)
+		return ok && ep.Addr == inst.Addr && ep.Port == inst.Port
+	}
+	return false
+}
+
+func (c *Controller) clusterByName(name string) (cluster.Cluster, bool) {
+	for _, e := range c.clusters {
+		if e.c.Name() == name {
+			return e.c, true
+		}
+	}
+	return nil, false
+}
+
+// buildState gathers the fig. 7 inputs for the Global Scheduler, charging
+// the per-cluster state-query latency.
+func (c *Controller) buildState(p *sim.Proc, svc *spec.Annotated, client simnet.Addr) State {
+	st := State{Service: svc, ClientIP: client}
+	allowed := c.cfg.RuntimeClassKinds[svc.RuntimeClass]
+	for i, e := range c.clusters {
+		if allowed != nil && !kindAllowed(e.kind, allowed) {
+			continue
+		}
+		if c.cfg.StateQueryLatency > 0 {
+			p.Sleep(c.cfg.StateQueryLatency)
+		}
+		info := ClusterInfo{
+			Cluster:   e.c,
+			Kind:      e.kind,
+			HasImages: e.c.HasImages(svc),
+			Exists:    e.c.Exists(svc.UniqueName),
+			Running:   e.c.Running(svc.UniqueName),
+		}
+		if ep, ok := e.c.Endpoint(svc.UniqueName); ok {
+			info.Endpoint = &ep
+			info.Load = c.Memory.InstanceFlows(ep)
+			if me, ok := e.c.(cluster.MultiEndpoint); ok {
+				info.Load = 0
+				for _, in := range me.Endpoints(svc.UniqueName) {
+					info.Load += c.Memory.InstanceFlows(in)
+				}
+			}
+		}
+		if c.cfg.Distance != nil {
+			info.Distance = c.cfg.Distance(client, e.c)
+		} else {
+			info.Distance = i
+		}
+		st.Clusters = append(st.Clusters, info)
+	}
+	sort.SliceStable(st.Clusters, func(i, j int) bool {
+		return st.Clusters[i].Distance < st.Clusters[j].Distance
+	})
+	return st
+}
+
+func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annotated, fk FlowKey) {
+	st := c.buildState(p, svc, fk.Client)
+	choice := c.cfg.Scheduler.Choose(st)
+
+	if choice.Fast == nil {
+		// No edge location can serve the request now: forward toward the
+		// cloud (fig. 1), still installing a flow so subsequent packets
+		// bypass the controller.
+		c.Stats.CloudForwards++
+		c.logf("%s: %s -> cloud (no instance available)", svc.UniqueName, fk.Client)
+		c.installCloudForward(ev.Switch, fk)
+		ev.Switch.TableOut(ev.Packet)
+	} else {
+		needsDeploy := !choice.Fast.Running
+		inst, err := c.deploy.ensureRunning(p, choice.Fast.Cluster, svc)
+		if err != nil {
+			// Deployment failed: degrade to cloud forwarding.
+			c.logf("%s: deployment on %s failed (%v); forwarding to cloud",
+				svc.UniqueName, choice.Fast.Cluster.Name(), err)
+			c.Stats.CloudForwards++
+			c.installCloudForward(ev.Switch, fk)
+			ev.Switch.TableOut(ev.Packet)
+			return
+		}
+		if needsDeploy {
+			c.Stats.Deployments++
+		}
+		inst = c.pickInstance(choice.Fast.Cluster, fk.Client, inst)
+		c.Memory.Put(fk, inst)
+		c.installRedirect(ev.Switch, fk, inst)
+		ev.Switch.TableOut(ev.Packet)
+		c.logf("%s: %s -> %s (%s:%d)", svc.UniqueName, fk.Client, inst.Cluster, inst.Addr, inst.Port)
+	}
+
+	// On-demand deployment *without waiting*: deploy the BEST location in
+	// the background and re-point future requests once it runs (fig. 3).
+	if choice.Best != nil && (choice.Fast == nil || choice.Best.Cluster.Name() != choice.Fast.Cluster.Name()) {
+		best := choice.Best.Cluster
+		c.k.Go("deploy-best:"+svc.UniqueName, func(bp *sim.Proc) {
+			inst, err := c.deploy.ensureRunning(bp, best, svc)
+			if err != nil {
+				c.logf("%s: background deployment on %s failed: %v", svc.UniqueName, best.Name(), err)
+				return
+			}
+			c.Stats.Deployments++
+			n := c.Memory.RedirectService(svc.UniqueName, inst)
+			c.Stats.Redirections += uint64(n)
+			c.logf("%s: optimal instance ready on %s (%s:%d); redirected %d flows",
+				svc.UniqueName, best.Name(), inst.Addr, inst.Port, n)
+		})
+	}
+}
+
+func kindAllowed(kind string, allowed []string) bool {
+	for _, k := range allowed {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// installRedirect installs the forward and reverse rewrite rules for one
+// client/service pair (fig. 2), replacing any previous pair for the key.
+func (c *Controller) installRedirect(sw *openflow.Switch, fk FlowKey, inst cluster.Instance) {
+	key := switchFlowKey{sw, fk}
+	if old, ok := c.cookies[key]; ok {
+		sw.DeleteFlows(old)
+	}
+	cookie := c.nextCookie()
+	c.cookies[key] = cookie
+	sw.AddFlow(openflow.FlowRule{
+		Priority: c.cfg.FlowPriority,
+		Cookie:   cookie,
+		Match:    openflow.Match{SrcIP: fk.Client, DstIP: fk.VIP, DstPort: fk.Port},
+		Actions: openflow.Actions{
+			SetDstIP:   inst.Addr,
+			SetDstPort: inst.Port,
+			Output:     openflow.OutputNormal,
+		},
+		IdleTimeout: c.cfg.SwitchIdleTimeout,
+	})
+	sw.AddFlow(openflow.FlowRule{
+		Priority: c.cfg.FlowPriority,
+		Cookie:   cookie,
+		Match:    openflow.Match{SrcIP: inst.Addr, SrcPort: inst.Port, DstIP: fk.Client},
+		Actions: openflow.Actions{
+			SetSrcIP:   fk.VIP,
+			SetSrcPort: fk.Port,
+			Output:     openflow.OutputNormal,
+		},
+		IdleTimeout: c.cfg.SwitchIdleTimeout,
+	})
+}
+
+// installCloudForward installs a pass-through flow so the conversation
+// continues to the real cloud without further packet-ins.
+func (c *Controller) installCloudForward(sw *openflow.Switch, fk FlowKey) {
+	key := switchFlowKey{sw, fk}
+	if old, ok := c.cookies[key]; ok {
+		sw.DeleteFlows(old)
+	}
+	cookie := c.nextCookie()
+	c.cookies[key] = cookie
+	sw.AddFlow(openflow.FlowRule{
+		Priority:    c.cfg.FlowPriority,
+		Cookie:      cookie,
+		Match:       openflow.Match{SrcIP: fk.Client, DstIP: fk.VIP, DstPort: fk.Port},
+		Actions:     openflow.Actions{Output: openflow.OutputNormal},
+		IdleTimeout: c.cfg.SwitchIdleTimeout,
+	})
+}
+
+// controllerCookieBase keeps controller-assigned flow cookies disjoint from
+// the switch's auto-assigned cookie space, so deleting a client's redirect
+// pair can never remove a punt rule.
+const controllerCookieBase uint64 = 1 << 32
+
+func (c *Controller) nextCookie() uint64 {
+	c.cookieSeq++
+	return controllerCookieBase + c.cookieSeq
+}
+
+// InstancePicker selects one of several ready instances of a service for a
+// client (round-robin, hashing, ...).
+type InstancePicker func(client simnet.Addr, insts []cluster.Instance) cluster.Instance
+
+// RoundRobinPicker returns a picker cycling through the instances in order.
+func RoundRobinPicker() InstancePicker {
+	next := 0
+	return func(client simnet.Addr, insts []cluster.Instance) cluster.Instance {
+		in := insts[next%len(insts)]
+		next++
+		return in
+	}
+}
+
+// pickInstance applies the configured instance picker when the cluster
+// exposes several ready instances; fallback keeps the deployment result.
+func (c *Controller) pickInstance(cl cluster.Cluster, client simnet.Addr, fallback cluster.Instance) cluster.Instance {
+	if c.cfg.InstancePicker == nil {
+		return fallback
+	}
+	me, ok := cl.(cluster.MultiEndpoint)
+	if !ok {
+		return fallback
+	}
+	insts := me.Endpoints(fallback.Service)
+	if len(insts) < 2 {
+		return fallback
+	}
+	return c.cfg.InstancePicker(client, insts)
+}
+
+// probeUntilOpen dials the instance from the controller's host until the
+// port accepts a connection.
+func (c *Controller) probeUntilOpen(p *sim.Proc, inst cluster.Instance) {
+	for {
+		conn, err := c.probeHost.Dial(p, inst.Addr, inst.Port, c.cfg.ProbeDialTimeout)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		p.Sleep(c.cfg.ProbeInterval)
+	}
+}
+
+// onIdleInstance is the FlowMemory callback: optionally scale the idle
+// service down.
+func (c *Controller) onIdleInstance(inst cluster.Instance) {
+	if !c.cfg.AutoScaleDown {
+		return
+	}
+	cl, ok := c.clusterByName(inst.Cluster)
+	if !ok {
+		return
+	}
+	c.k.Go("scale-down:"+inst.Service, func(p *sim.Proc) {
+		// Re-check: a new flow may have arrived meanwhile.
+		if c.Memory.InstanceFlows(inst) > 0 {
+			return
+		}
+		if err := cl.ScaleDown(p, inst.Service); err == nil {
+			c.logf("%s: scaled down on %s (idle)", inst.Service, inst.Cluster)
+		}
+	})
+}
+
+// EnsureDeployed drives a deployment directly (proactive deployment, and
+// the building block the benchmarks use). It returns the ready instance.
+func (c *Controller) EnsureDeployed(p *sim.Proc, clusterName, serviceName string) (cluster.Instance, error) {
+	cl, ok := c.clusterByName(clusterName)
+	if !ok {
+		return cluster.Instance{}, fmt.Errorf("core: unknown cluster %q", clusterName)
+	}
+	svc, ok := c.byName[serviceName]
+	if !ok {
+		return cluster.Instance{}, fmt.Errorf("core: unknown service %q", serviceName)
+	}
+	return c.deploy.ensureRunning(p, cl, svc)
+}
+
+// ScaleDownService scales a service down on one cluster.
+func (c *Controller) ScaleDownService(p *sim.Proc, clusterName, serviceName string) error {
+	cl, ok := c.clusterByName(clusterName)
+	if !ok {
+		return fmt.Errorf("core: unknown cluster %q", clusterName)
+	}
+	return cl.ScaleDown(p, serviceName)
+}
+
+// RemoveService removes a service's containers/objects from one cluster
+// (the Remove phase of fig. 4). The registration stays.
+func (c *Controller) RemoveService(p *sim.Proc, clusterName, serviceName string) error {
+	cl, ok := c.clusterByName(clusterName)
+	if !ok {
+		return fmt.Errorf("core: unknown cluster %q", clusterName)
+	}
+	return cl.Remove(p, serviceName)
+}
+
+func (c *Controller) addRecord(rec DeployRecord) {
+	c.records = append(c.records, rec)
+}
+
+// Records returns all deployment records so far.
+func (c *Controller) Records() []DeployRecord {
+	return append([]DeployRecord(nil), c.records...)
+}
+
+// RecordsFor filters records by cluster name ("" = any) and service name
+// ("" = any), skipping failed deployments.
+func (c *Controller) RecordsFor(clusterName, serviceName string) []DeployRecord {
+	var out []DeployRecord
+	for _, r := range c.records {
+		if r.Err != nil {
+			continue
+		}
+		if clusterName != "" && r.Cluster != clusterName {
+			continue
+		}
+		if serviceName != "" && r.Service != serviceName {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ResetRecords clears the deployment records (between experiment runs).
+func (c *Controller) ResetRecords() { c.records = nil }
+
+// ErrNoCluster is returned when a scheduler picks no cluster and no cloud
+// path exists.
+var ErrNoCluster = errors.New("core: no cluster available")
+
+// DeleteImages drives the optional Delete phase of fig. 4 on one cluster:
+// the cached images of a registered service are removed (shared layers
+// survive while other images reference them).
+func (c *Controller) DeleteImages(p *sim.Proc, clusterName, serviceName string) error {
+	cl, ok := c.clusterByName(clusterName)
+	if !ok {
+		return fmt.Errorf("core: unknown cluster %q", clusterName)
+	}
+	svc, ok := c.byName[serviceName]
+	if !ok {
+		return fmt.Errorf("core: unknown service %q", serviceName)
+	}
+	del, ok := cl.(cluster.ImageDeleter)
+	if !ok {
+		return fmt.Errorf("core: cluster %q cannot delete images", clusterName)
+	}
+	return del.DeleteImages(p, svc)
+}

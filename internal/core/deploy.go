@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+
+	"transparentedge/internal/cluster"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/spec"
+)
+
+// DeployRecord captures the per-phase timings of one on-demand deployment
+// (the quantities behind figs. 10-15).
+type DeployRecord struct {
+	Service string
+	Cluster string
+	// StartedAt is when the dispatcher began the deployment.
+	StartedAt sim.Time
+	// Pull/Create/ScaleUp are the phase durations (zero when the phase was
+	// skipped because the artifact already existed).
+	Pull    time.Duration
+	Create  time.Duration
+	ScaleUp time.Duration
+	// ReadyWait is the port-probing wait after scale-up until the service
+	// accepted a connection (figs. 14/15).
+	ReadyWait time.Duration
+	// DidPull/DidCreate/DidScaleUp say which phases actually ran.
+	DidPull    bool
+	DidCreate  bool
+	DidScaleUp bool
+	// Err is non-nil if the deployment failed.
+	Err error
+}
+
+// Total returns the deployment's total duration.
+func (r DeployRecord) Total() time.Duration {
+	return r.Pull + r.Create + r.ScaleUp + r.ReadyWait
+}
+
+// deployer serializes and deduplicates deployments per (cluster, service):
+// concurrent requests for the same not-yet-running service share one
+// deployment (fig. 10's burst of up to eight deployments per second makes
+// this essential).
+type deployer struct {
+	ctrl    *Controller
+	pending map[string]*sim.Promise[cluster.Instance]
+}
+
+func newDeployer(c *Controller) *deployer {
+	return &deployer{ctrl: c, pending: make(map[string]*sim.Promise[cluster.Instance])}
+}
+
+// ensureRunning drives the fig. 4 phases on cl until the service accepts
+// connections, recording phase timings. It blocks the calling process and
+// is safe to call concurrently (subsequent callers await the first run).
+func (d *deployer) ensureRunning(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cluster.Instance, error) {
+	key := cl.Name() + "/" + svc.UniqueName
+	if pr, ok := d.pending[key]; ok {
+		return pr.Await(p)
+	}
+	pr := sim.NewPromise[cluster.Instance](d.ctrl.k)
+	d.pending[key] = pr
+	inst, err := d.run(p, cl, svc)
+	delete(d.pending, key)
+	if err != nil {
+		pr.Fail(err)
+		return cluster.Instance{}, err
+	}
+	pr.Resolve(inst)
+	return inst, nil
+}
+
+func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cluster.Instance, error) {
+	rec := DeployRecord{Service: svc.UniqueName, Cluster: cl.Name(), StartedAt: p.Now()}
+	fail := func(err error) (cluster.Instance, error) {
+		rec.Err = err
+		d.ctrl.addRecord(rec)
+		return cluster.Instance{}, err
+	}
+
+	alreadyRunning := cl.Running(svc.UniqueName)
+
+	// Phase 1: Pull.
+	if !cl.HasImages(svc) {
+		rec.DidPull = true
+		t0 := p.Now()
+		if err := cl.Pull(p, svc); err != nil {
+			return fail(err)
+		}
+		rec.Pull = time.Duration(p.Now() - t0)
+	}
+	// Phase 2: Create.
+	if !cl.Exists(svc.UniqueName) {
+		rec.DidCreate = true
+		t0 := p.Now()
+		if err := cl.Create(p, svc); err != nil {
+			return fail(err)
+		}
+		rec.Create = time.Duration(p.Now() - t0)
+	}
+	// Phase 3: Scale Up.
+	var inst cluster.Instance
+	var err error
+	if !alreadyRunning {
+		rec.DidScaleUp = true
+		t0 := p.Now()
+		inst, err = cl.ScaleUp(p, svc.UniqueName)
+		if err != nil {
+			return fail(err)
+		}
+		rec.ScaleUp = time.Duration(p.Now() - t0)
+		// Readiness: probe the instance port from the controller host
+		// until it accepts a connection ("the controller continuously
+		// tests if the respective port is open").
+		t0 = p.Now()
+		d.ctrl.probeUntilOpen(p, inst)
+		rec.ReadyWait = time.Duration(p.Now() - t0)
+	} else {
+		ep, ok := cl.Endpoint(svc.UniqueName)
+		if !ok {
+			// Scale-up is in flight elsewhere (e.g. the pod is starting);
+			// idempotently join it.
+			inst, err = cl.ScaleUp(p, svc.UniqueName)
+			if err != nil {
+				return fail(err)
+			}
+			d.ctrl.probeUntilOpen(p, inst)
+		} else {
+			inst = ep
+		}
+	}
+	if rec.DidPull || rec.DidCreate || rec.DidScaleUp {
+		d.ctrl.addRecord(rec)
+	}
+	return inst, nil
+}

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"fmt"
+
+	"transparentedge/internal/core"
+)
+
+// Custom Global Schedulers plug in through the name registry, mirroring the
+// paper's dynamically loaded scheduler configuration.
+func ExampleRegisterScheduler() {
+	core.RegisterScheduler("always-second", func() core.GlobalScheduler {
+		return alwaysSecond{}
+	})
+	s, err := core.NewScheduler("always-second")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Name())
+	// Output:
+	// always-second
+}
+
+// alwaysSecond is a toy policy: the second-nearest cluster serves, the
+// nearest is warmed in the background.
+type alwaysSecond struct{}
+
+func (alwaysSecond) Name() string { return "always-second" }
+
+func (alwaysSecond) Choose(st core.State) core.Choice {
+	if len(st.Clusters) < 2 {
+		return core.ProximityScheduler{}.Choose(st)
+	}
+	return core.Choice{Fast: &st.Clusters[1], Best: &st.Clusters[0]}
+}

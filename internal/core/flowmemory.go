@@ -1,0 +1,150 @@
+package core
+
+import (
+	"time"
+
+	"transparentedge/internal/cluster"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+)
+
+// FlowKey identifies one memorized client->service flow.
+type FlowKey struct {
+	Client simnet.Addr
+	VIP    simnet.Addr
+	Port   int
+}
+
+// MemEntry is one memorized flow: which instance a client's requests to a
+// registered service address are redirected to.
+type MemEntry struct {
+	Key      FlowKey
+	Instance cluster.Instance
+	LastUsed sim.Time
+}
+
+type instanceKey struct {
+	addr simnet.Addr
+	port int
+}
+
+// FlowMemory memorizes installed redirect flows (paper §V). It allows the
+// switch-side idle timeouts to stay low — a returning client is re-served
+// from memory without re-running the scheduler — while the memory's own,
+// longer idle timeout both removes stale flows and signals when a service
+// instance has become idle (no memorized flows left), enabling automatic
+// scale-down.
+type FlowMemory struct {
+	k       *sim.Kernel
+	idle    time.Duration
+	entries map[FlowKey]*MemEntry
+	perInst map[instanceKey]int
+	// OnIdleInstance, when set, is invoked (in kernel context) when the
+	// last memorized flow to an instance expires.
+	OnIdleInstance func(inst cluster.Instance)
+	// Hits and Misses count lookups (diagnostics).
+	Hits, Misses uint64
+}
+
+// NewFlowMemory creates a FlowMemory with the given idle timeout.
+func NewFlowMemory(k *sim.Kernel, idle time.Duration) *FlowMemory {
+	return &FlowMemory{
+		k:       k,
+		idle:    idle,
+		entries: make(map[FlowKey]*MemEntry),
+		perInst: make(map[instanceKey]int),
+	}
+}
+
+// Len returns the number of memorized flows.
+func (m *FlowMemory) Len() int { return len(m.entries) }
+
+// InstanceFlows returns how many memorized flows point at the instance.
+func (m *FlowMemory) InstanceFlows(inst cluster.Instance) int {
+	return m.perInst[instanceKey{inst.Addr, inst.Port}]
+}
+
+// Get returns the memorized instance for a key and refreshes its idle
+// timer. The second result is false on a miss.
+func (m *FlowMemory) Get(key FlowKey) (cluster.Instance, bool) {
+	e, ok := m.entries[key]
+	if !ok {
+		m.Misses++
+		return cluster.Instance{}, false
+	}
+	m.Hits++
+	e.LastUsed = m.k.Now()
+	return e.Instance, true
+}
+
+// Put memorizes (or re-points) a flow.
+func (m *FlowMemory) Put(key FlowKey, inst cluster.Instance) {
+	if old, ok := m.entries[key]; ok {
+		m.decInstance(old.Instance)
+		old.Instance = inst
+		old.LastUsed = m.k.Now()
+		m.perInst[instanceKey{inst.Addr, inst.Port}]++
+		return
+	}
+	e := &MemEntry{Key: key, Instance: inst, LastUsed: m.k.Now()}
+	m.entries[key] = e
+	m.perInst[instanceKey{inst.Addr, inst.Port}]++
+	m.scheduleExpiry(e)
+}
+
+// RedirectService re-points every memorized flow of a service to a new
+// instance (fig. 3: once the optimal instance runs, future requests are
+// redirected there). It returns how many entries were re-pointed.
+func (m *FlowMemory) RedirectService(service string, to cluster.Instance) int {
+	n := 0
+	for _, e := range m.entries {
+		if e.Instance.Service == service && (e.Instance.Addr != to.Addr || e.Instance.Port != to.Port) {
+			m.decInstance(e.Instance)
+			e.Instance = to
+			m.perInst[instanceKey{to.Addr, to.Port}]++
+			n++
+		}
+	}
+	return n
+}
+
+// Entries returns a snapshot of all memorized flows.
+func (m *FlowMemory) Entries() []MemEntry {
+	out := make([]MemEntry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, *e)
+	}
+	return out
+}
+
+func (m *FlowMemory) scheduleExpiry(e *MemEntry) {
+	due := e.LastUsed + m.idle
+	m.k.At(due, func() {
+		cur, ok := m.entries[e.Key]
+		if !ok || cur != e {
+			return // already replaced or removed
+		}
+		now := m.k.Now()
+		if now-e.LastUsed < m.idle {
+			m.scheduleExpiry(e)
+			return
+		}
+		m.remove(e)
+	})
+}
+
+func (m *FlowMemory) remove(e *MemEntry) {
+	delete(m.entries, e.Key)
+	m.decInstance(e.Instance)
+}
+
+func (m *FlowMemory) decInstance(inst cluster.Instance) {
+	ik := instanceKey{inst.Addr, inst.Port}
+	m.perInst[ik]--
+	if m.perInst[ik] <= 0 {
+		delete(m.perInst, ik)
+		if m.OnIdleInstance != nil {
+			m.OnIdleInstance(inst)
+		}
+	}
+}

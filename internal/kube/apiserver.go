@@ -1,0 +1,365 @@
+package kube
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"transparentedge/internal/sim"
+)
+
+// API errors.
+var (
+	ErrNotFound      = errors.New("kube: object not found")
+	ErrAlreadyExists = errors.New("kube: object already exists")
+)
+
+// APIConfig models API-server-side latencies.
+type APIConfig struct {
+	// RequestLatency is charged on every synchronous API operation.
+	RequestLatency time.Duration
+	// WatchLatency is the delay before a watch event reaches a watcher.
+	WatchLatency time.Duration
+}
+
+// DefaultAPIConfig reflects a lightly loaded single-node control plane.
+func DefaultAPIConfig() APIConfig {
+	return APIConfig{
+		RequestLatency: 15 * time.Millisecond,
+		WatchLatency:   30 * time.Millisecond,
+	}
+}
+
+// APIServer is the versioned object store with watch support.
+type APIServer struct {
+	k           *sim.Kernel
+	cfg         APIConfig
+	version     uint64
+	deployments map[string]*Deployment
+	replicaSets map[string]*ReplicaSet
+	pods        map[string]*Pod
+	services    map[string]*Service
+	endpoints   map[string]*Endpoints
+	nodes       map[string]*Node
+	watchers    map[Kind][]*sim.Chan[Event]
+	nextSuffix  int
+}
+
+// NewAPIServer creates an empty API server on kernel k.
+func NewAPIServer(k *sim.Kernel, cfg APIConfig) *APIServer {
+	return &APIServer{
+		k:           k,
+		cfg:         cfg,
+		deployments: make(map[string]*Deployment),
+		replicaSets: make(map[string]*ReplicaSet),
+		pods:        make(map[string]*Pod),
+		services:    make(map[string]*Service),
+		endpoints:   make(map[string]*Endpoints),
+		nodes:       make(map[string]*Node),
+		watchers:    make(map[Kind][]*sim.Chan[Event]),
+	}
+}
+
+// Kernel returns the kernel the API server runs on.
+func (a *APIServer) Kernel() *sim.Kernel { return a.k }
+
+// Watch subscribes to events for kind. Events are delivered with the
+// configured watch latency. The channel is never closed.
+func (a *APIServer) Watch(kind Kind) *sim.Chan[Event] {
+	ch := sim.NewChan[Event](a.k)
+	a.watchers[kind] = append(a.watchers[kind], ch)
+	return ch
+}
+
+func (a *APIServer) publish(ev Event) {
+	for _, ch := range a.watchers[ev.Kind] {
+		ch := ch
+		a.k.After(a.cfg.WatchLatency, func() { ch.Send(ev) })
+	}
+}
+
+func (a *APIServer) bump() uint64 {
+	a.version++
+	return a.version
+}
+
+// nameSuffix returns a unique suffix for generated object names (pods),
+// mirroring Kubernetes' random pod name suffixes deterministically.
+func (a *APIServer) nameSuffix() string {
+	a.nextSuffix++
+	return fmt.Sprintf("%05d", a.nextSuffix)
+}
+
+func (a *APIServer) charge(p *sim.Proc) {
+	if p != nil && a.cfg.RequestLatency > 0 {
+		p.Sleep(a.cfg.RequestLatency)
+	}
+}
+
+// --- Deployments ---
+
+// CreateDeployment stores a new Deployment.
+func (a *APIServer) CreateDeployment(p *sim.Proc, d *Deployment) error {
+	a.charge(p)
+	if _, dup := a.deployments[d.Name]; dup {
+		return fmt.Errorf("%w: deployment %s", ErrAlreadyExists, d.Name)
+	}
+	cp := copyDeployment(d)
+	cp.ResourceVersion = a.bump()
+	a.deployments[d.Name] = cp
+	a.publish(Event{Type: Added, Kind: KindDeployment, Name: d.Name, Object: copyDeployment(cp)})
+	return nil
+}
+
+// GetDeployment returns a copy of the named Deployment.
+func (a *APIServer) GetDeployment(p *sim.Proc, name string) (*Deployment, error) {
+	a.charge(p)
+	d, ok := a.deployments[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: deployment %s", ErrNotFound, name)
+	}
+	return copyDeployment(d), nil
+}
+
+// UpdateDeployment replaces the named Deployment.
+func (a *APIServer) UpdateDeployment(p *sim.Proc, d *Deployment) error {
+	a.charge(p)
+	if _, ok := a.deployments[d.Name]; !ok {
+		return fmt.Errorf("%w: deployment %s", ErrNotFound, d.Name)
+	}
+	cp := copyDeployment(d)
+	cp.ResourceVersion = a.bump()
+	a.deployments[d.Name] = cp
+	a.publish(Event{Type: Modified, Kind: KindDeployment, Name: d.Name, Object: copyDeployment(cp)})
+	return nil
+}
+
+// DeleteDeployment removes the named Deployment.
+func (a *APIServer) DeleteDeployment(p *sim.Proc, name string) error {
+	a.charge(p)
+	d, ok := a.deployments[name]
+	if !ok {
+		return fmt.Errorf("%w: deployment %s", ErrNotFound, name)
+	}
+	delete(a.deployments, name)
+	a.publish(Event{Type: Deleted, Kind: KindDeployment, Name: name, Object: copyDeployment(d)})
+	return nil
+}
+
+// ListDeployments returns copies of all Deployments, sorted by name.
+func (a *APIServer) ListDeployments(p *sim.Proc) []*Deployment {
+	a.charge(p)
+	out := make([]*Deployment, 0, len(a.deployments))
+	for _, d := range a.deployments {
+		out = append(out, copyDeployment(d))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- ReplicaSets ---
+
+// CreateReplicaSet stores a new ReplicaSet.
+func (a *APIServer) CreateReplicaSet(p *sim.Proc, rs *ReplicaSet) error {
+	a.charge(p)
+	if _, dup := a.replicaSets[rs.Name]; dup {
+		return fmt.Errorf("%w: replicaset %s", ErrAlreadyExists, rs.Name)
+	}
+	cp := copyReplicaSet(rs)
+	cp.ResourceVersion = a.bump()
+	a.replicaSets[rs.Name] = cp
+	a.publish(Event{Type: Added, Kind: KindReplicaSet, Name: rs.Name, Object: copyReplicaSet(cp)})
+	return nil
+}
+
+// GetReplicaSet returns a copy of the named ReplicaSet.
+func (a *APIServer) GetReplicaSet(p *sim.Proc, name string) (*ReplicaSet, error) {
+	a.charge(p)
+	rs, ok := a.replicaSets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: replicaset %s", ErrNotFound, name)
+	}
+	return copyReplicaSet(rs), nil
+}
+
+// UpdateReplicaSet replaces the named ReplicaSet.
+func (a *APIServer) UpdateReplicaSet(p *sim.Proc, rs *ReplicaSet) error {
+	a.charge(p)
+	if _, ok := a.replicaSets[rs.Name]; !ok {
+		return fmt.Errorf("%w: replicaset %s", ErrNotFound, rs.Name)
+	}
+	cp := copyReplicaSet(rs)
+	cp.ResourceVersion = a.bump()
+	a.replicaSets[rs.Name] = cp
+	a.publish(Event{Type: Modified, Kind: KindReplicaSet, Name: rs.Name, Object: copyReplicaSet(cp)})
+	return nil
+}
+
+// DeleteReplicaSet removes the named ReplicaSet.
+func (a *APIServer) DeleteReplicaSet(p *sim.Proc, name string) error {
+	a.charge(p)
+	rs, ok := a.replicaSets[name]
+	if !ok {
+		return fmt.Errorf("%w: replicaset %s", ErrNotFound, name)
+	}
+	delete(a.replicaSets, name)
+	a.publish(Event{Type: Deleted, Kind: KindReplicaSet, Name: name, Object: copyReplicaSet(rs)})
+	return nil
+}
+
+// ListReplicaSets returns copies of all ReplicaSets owned by owner ("" for
+// all), sorted by name.
+func (a *APIServer) ListReplicaSets(p *sim.Proc, owner string) []*ReplicaSet {
+	a.charge(p)
+	var out []*ReplicaSet
+	for _, rs := range a.replicaSets {
+		if owner == "" || rs.Owner == owner {
+			out = append(out, copyReplicaSet(rs))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- Pods ---
+
+// CreatePod stores a new Pod; an empty name gets a generated suffix.
+func (a *APIServer) CreatePod(p *sim.Proc, pod *Pod) (*Pod, error) {
+	a.charge(p)
+	if pod.Name == "" {
+		pod.Name = pod.Owner + "-" + a.nameSuffix()
+	}
+	if _, dup := a.pods[pod.Name]; dup {
+		return nil, fmt.Errorf("%w: pod %s", ErrAlreadyExists, pod.Name)
+	}
+	cp := copyPod(pod)
+	if cp.Phase == "" {
+		cp.Phase = PodPending
+	}
+	cp.ResourceVersion = a.bump()
+	a.pods[cp.Name] = cp
+	a.publish(Event{Type: Added, Kind: KindPod, Name: cp.Name, Object: copyPod(cp)})
+	return copyPod(cp), nil
+}
+
+// GetPod returns a copy of the named Pod.
+func (a *APIServer) GetPod(p *sim.Proc, name string) (*Pod, error) {
+	a.charge(p)
+	pod, ok := a.pods[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: pod %s", ErrNotFound, name)
+	}
+	return copyPod(pod), nil
+}
+
+// UpdatePod replaces the named Pod.
+func (a *APIServer) UpdatePod(p *sim.Proc, pod *Pod) error {
+	a.charge(p)
+	if _, ok := a.pods[pod.Name]; !ok {
+		return fmt.Errorf("%w: pod %s", ErrNotFound, pod.Name)
+	}
+	cp := copyPod(pod)
+	cp.ResourceVersion = a.bump()
+	a.pods[pod.Name] = cp
+	a.publish(Event{Type: Modified, Kind: KindPod, Name: pod.Name, Object: copyPod(cp)})
+	return nil
+}
+
+// DeletePod removes the named Pod.
+func (a *APIServer) DeletePod(p *sim.Proc, name string) error {
+	a.charge(p)
+	pod, ok := a.pods[name]
+	if !ok {
+		return fmt.Errorf("%w: pod %s", ErrNotFound, name)
+	}
+	delete(a.pods, name)
+	a.publish(Event{Type: Deleted, Kind: KindPod, Name: name, Object: copyPod(pod)})
+	return nil
+}
+
+// ListPods returns copies of pods matching selector (nil for all), sorted
+// by name.
+func (a *APIServer) ListPods(p *sim.Proc, selector map[string]string) []*Pod {
+	a.charge(p)
+	var out []*Pod
+	for _, pod := range a.pods {
+		if MatchLabels(pod.Labels, selector) {
+			out = append(out, copyPod(pod))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ListPodsByOwner returns copies of pods owned by the given ReplicaSet.
+func (a *APIServer) ListPodsByOwner(p *sim.Proc, owner string) []*Pod {
+	a.charge(p)
+	var out []*Pod
+	for _, pod := range a.pods {
+		if pod.Owner == owner {
+			out = append(out, copyPod(pod))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- Services ---
+
+// CreateService stores a new Service.
+func (a *APIServer) CreateService(p *sim.Proc, s *Service) error {
+	a.charge(p)
+	if _, dup := a.services[s.Name]; dup {
+		return fmt.Errorf("%w: service %s", ErrAlreadyExists, s.Name)
+	}
+	cp := copyService(s)
+	cp.ResourceVersion = a.bump()
+	a.services[s.Name] = cp
+	a.publish(Event{Type: Added, Kind: KindService, Name: s.Name, Object: copyService(cp)})
+	return nil
+}
+
+// GetService returns a copy of the named Service.
+func (a *APIServer) GetService(p *sim.Proc, name string) (*Service, error) {
+	a.charge(p)
+	s, ok := a.services[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: service %s", ErrNotFound, name)
+	}
+	return copyService(s), nil
+}
+
+// DeleteService removes the named Service.
+func (a *APIServer) DeleteService(p *sim.Proc, name string) error {
+	a.charge(p)
+	s, ok := a.services[name]
+	if !ok {
+		return fmt.Errorf("%w: service %s", ErrNotFound, name)
+	}
+	delete(a.services, name)
+	a.publish(Event{Type: Deleted, Kind: KindService, Name: name, Object: copyService(s)})
+	return nil
+}
+
+// ListServices returns copies of all Services, sorted by name.
+func (a *APIServer) ListServices(p *sim.Proc) []*Service {
+	a.charge(p)
+	out := make([]*Service, 0, len(a.services))
+	for _, s := range a.services {
+		out = append(out, copyService(s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NodePortFor returns the NodePort of the Service selecting pod whose
+// targetPort matches containerPort (0 if none).
+func (a *APIServer) NodePortFor(pod *Pod, containerPort int) int {
+	for _, s := range a.services {
+		if s.TargetPort == containerPort && MatchLabels(pod.Labels, s.Selector) {
+			return s.NodePort
+		}
+	}
+	return 0
+}

@@ -1,0 +1,397 @@
+package kube
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"transparentedge/internal/cluster"
+	"transparentedge/internal/container"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+	"transparentedge/internal/spec"
+)
+
+// Config assembles the control-plane latency model of one cluster.
+type Config struct {
+	API           APIConfig
+	Controller    ControllerConfig
+	Scheduler     SchedulerConfig // the default scheduler
+	LocalSched    *SchedulerConfig
+	Kubelet       KubeletConfig
+	NodeLifecycle NodeLifecycleConfig
+	NodePortStart int
+	// BindPollInterval is how often ScaleUp re-checks for a bound pod.
+	BindPollInterval time.Duration
+}
+
+// DefaultConfig mirrors a single-node cluster on the paper's EGS.
+func DefaultConfig() Config {
+	return Config{
+		API:              DefaultAPIConfig(),
+		Controller:       DefaultControllerConfig(),
+		Scheduler:        SchedulerConfig{Name: DefaultSchedulerName, BindingDelay: 350 * time.Millisecond},
+		Kubelet:          DefaultKubeletConfig(),
+		NodeLifecycle:    DefaultNodeLifecycleConfig(),
+		NodePortStart:    30000,
+		BindPollInterval: 50 * time.Millisecond,
+	}
+}
+
+// Cluster is a mini-Kubernetes cluster implementing cluster.Cluster.
+type Cluster struct {
+	name     string
+	api      *APIServer
+	cfg      Config
+	nodes    []*node
+	started  bool
+	services map[string]*spec.Annotated
+	nextPort int
+}
+
+type node struct {
+	name    string
+	rt      *container.Runtime
+	beh     cluster.BehaviorSource
+	cap     Capacity
+	kubelet *Kubelet
+}
+
+// New creates a cluster (call AddNode, then Start).
+func New(name string, k *sim.Kernel, cfg Config) *Cluster {
+	return &Cluster{
+		name:     name,
+		api:      NewAPIServer(k, cfg.API),
+		cfg:      cfg,
+		services: make(map[string]*spec.Annotated),
+		nextPort: cfg.NodePortStart,
+	}
+}
+
+// API exposes the API server (tests, custom controllers).
+func (c *Cluster) API() *APIServer { return c.api }
+
+// AddNode registers a worker node with default capacity (the EGS profile).
+// Must be called before Start.
+func (c *Cluster) AddNode(nodeName string, rt *container.Runtime, behaviors cluster.BehaviorSource) {
+	c.AddNodeWithCapacity(nodeName, rt, behaviors, DefaultCapacity())
+}
+
+// AddNodeWithCapacity registers a worker node with explicit schedulable
+// capacity. Must be called before Start.
+func (c *Cluster) AddNodeWithCapacity(nodeName string, rt *container.Runtime, behaviors cluster.BehaviorSource, cap Capacity) {
+	if c.started {
+		panic("kube: AddNode after Start")
+	}
+	c.nodes = append(c.nodes, &node{name: nodeName, rt: rt, beh: behaviors, cap: cap})
+}
+
+// Start launches the control plane: controllers, scheduler(s), kubelets.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	RunDeploymentController(c.api, c.cfg.Controller)
+	RunReplicaSetController(c.api, c.cfg.Controller)
+	RunEndpointsController(c.api, c.cfg.Controller)
+	refs := make([]NodeRef, len(c.nodes))
+	for i, n := range c.nodes {
+		refs[i] = NodeRef{Name: n.name, Cap: n.cap}
+	}
+	RunScheduler(c.api, c.cfg.Scheduler, refs)
+	if c.cfg.LocalSched != nil {
+		RunScheduler(c.api, *c.cfg.LocalSched, refs)
+	}
+	for _, n := range c.nodes {
+		n.kubelet = RunKubelet(c.api, n.name, n.rt, n.beh, c.cfg.Kubelet)
+		n.kubelet.startHeartbeats(c.cfg.NodeLifecycle.HeartbeatPeriod)
+	}
+	RunNodeLifecycleController(c.api, c.cfg.NodeLifecycle)
+}
+
+// Kubelet returns the kubelet of a node (nil if unknown or not started).
+func (c *Cluster) Kubelet(nodeName string) *Kubelet {
+	n := c.nodeByName(nodeName)
+	if n == nil {
+		return nil
+	}
+	return n.kubelet
+}
+
+// Name implements cluster.Cluster.
+func (c *Cluster) Name() string { return c.name }
+
+// Addr implements cluster.Cluster (first node's address; single-node
+// clusters as in the paper's testbed have exactly one).
+func (c *Cluster) Addr() simnet.Addr {
+	if len(c.nodes) == 0 {
+		return ""
+	}
+	return c.nodes[0].rt.Host().IP()
+}
+
+func (c *Cluster) nodeByName(name string) *node {
+	for _, n := range c.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// HasImages implements cluster.Cluster: every node must have every image.
+func (c *Cluster) HasImages(a *spec.Annotated) bool {
+	for _, n := range c.nodes {
+		for _, cs := range a.Containers {
+			if !n.rt.HasImage(cs.Image) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Pull implements cluster.Cluster: nodes pull concurrently.
+func (c *Cluster) Pull(p *sim.Proc, a *spec.Annotated) error {
+	k := c.api.Kernel()
+	wg := sim.NewWaitGroup(k)
+	var firstErr error
+	for _, n := range c.nodes {
+		n := n
+		wg.Add(1)
+		k.Go("pull:"+c.name+":"+n.name, func(np *sim.Proc) {
+			defer wg.Done()
+			for _, cs := range a.Containers {
+				if err := n.rt.PullImage(np, cs.Image); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("kube: pull %s on %s: %w", cs.Image, n.name, err)
+				}
+			}
+		})
+	}
+	wg.Wait(p)
+	return firstErr
+}
+
+// Exists implements cluster.Cluster.
+func (c *Cluster) Exists(name string) bool {
+	_, ok := c.services[name]
+	return ok
+}
+
+// Running implements cluster.Cluster (desired replicas > 0).
+func (c *Cluster) Running(name string) bool {
+	d, ok := c.api.deployments[name]
+	return ok && d.Replicas > 0
+}
+
+// Create implements cluster.Cluster: apply the annotated Deployment (zero
+// replicas) and its Service with an allocated NodePort.
+func (c *Cluster) Create(p *sim.Proc, a *spec.Annotated) error {
+	if _, dup := c.services[a.UniqueName]; dup {
+		return fmt.Errorf("%w: %s", cluster.ErrAlreadyExists, a.UniqueName)
+	}
+	labels := map[string]string{
+		"app":                 a.UniqueName,
+		spec.EdgeServiceLabel: a.UniqueName,
+	}
+	d := &Deployment{
+		Name:     a.UniqueName,
+		Labels:   copyLabels(labels),
+		Replicas: 0,
+		Template: PodTemplate{
+			Labels:     copyLabels(labels),
+			Containers: append([]spec.ContainerSpec(nil), a.Containers...),
+		},
+		SchedulerName: schedulerNameOf(a),
+	}
+	if err := c.api.CreateDeployment(p, d); err != nil {
+		return err
+	}
+	nodePort := c.nextPort
+	c.nextPort++
+	svc := &Service{
+		Name:       a.UniqueName,
+		Labels:     copyLabels(labels),
+		Selector:   map[string]string{"app": a.UniqueName},
+		Port:       a.Reg.Port,
+		TargetPort: a.TargetPort,
+		NodePort:   nodePort,
+	}
+	if err := c.api.CreateService(p, svc); err != nil {
+		return err
+	}
+	c.services[a.UniqueName] = a
+	return nil
+}
+
+func schedulerNameOf(a *spec.Annotated) string {
+	specMap, _ := a.Deployment["spec"].(map[string]any)
+	tmpl, _ := specMap["template"].(map[string]any)
+	podSpec, _ := tmpl["spec"].(map[string]any)
+	s, _ := podSpec["schedulerName"].(string)
+	return s
+}
+
+// ScaleUp implements cluster.Cluster: raise replicas to one and block until
+// the new pod is bound to a node so the endpoint (node address + NodePort)
+// is known. The pod is usually still starting when ScaleUp returns — the
+// SDN controller probes the port for readiness, as in the paper.
+func (c *Cluster) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
+	if _, ok := c.services[name]; !ok {
+		return cluster.Instance{}, fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
+	}
+	d, err := c.api.GetDeployment(p, name)
+	if err != nil {
+		return cluster.Instance{}, err
+	}
+	if d.Replicas < 1 {
+		d.Replicas = 1
+		if err := c.api.UpdateDeployment(p, d); err != nil {
+			return cluster.Instance{}, err
+		}
+	}
+	svc, err := c.api.GetService(p, name)
+	if err != nil {
+		return cluster.Instance{}, err
+	}
+	// Wait for a pod of this service to be bound to a node.
+	for {
+		for _, pod := range c.api.ListPods(p, map[string]string{"app": name}) {
+			if pod.NodeName == "" {
+				continue
+			}
+			n := c.nodeByName(pod.NodeName)
+			if n == nil {
+				continue
+			}
+			return cluster.Instance{
+				Service: name,
+				Cluster: c.name,
+				Addr:    n.rt.Host().IP(),
+				Port:    svc.NodePort,
+			}, nil
+		}
+		p.Sleep(c.cfg.BindPollInterval)
+	}
+}
+
+// ScaleDown implements cluster.Cluster.
+func (c *Cluster) ScaleDown(p *sim.Proc, name string) error {
+	if _, ok := c.services[name]; !ok {
+		return fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
+	}
+	d, err := c.api.GetDeployment(p, name)
+	if err != nil {
+		return err
+	}
+	if d.Replicas == 0 {
+		return nil
+	}
+	d.Replicas = 0
+	return c.api.UpdateDeployment(p, d)
+}
+
+// Remove implements cluster.Cluster: delete the Deployment (cascading to
+// ReplicaSet and Pods) and the Service.
+func (c *Cluster) Remove(p *sim.Proc, name string) error {
+	if _, ok := c.services[name]; !ok {
+		return fmt.Errorf("%w: %s", cluster.ErrUnknownService, name)
+	}
+	if err := c.api.DeleteDeployment(p, name); err != nil {
+		return err
+	}
+	if err := c.api.DeleteService(p, name); err != nil {
+		return err
+	}
+	delete(c.services, name)
+	return nil
+}
+
+// Endpoint implements cluster.Cluster: a running (containers started) pod
+// of the service, exposed on its node at the service NodePort.
+func (c *Cluster) Endpoint(name string) (cluster.Instance, bool) {
+	svc, ok := c.api.services[name]
+	if !ok {
+		return cluster.Instance{}, false
+	}
+	for _, pod := range c.api.pods {
+		if pod.Phase != PodRunning || pod.NodeName == "" {
+			continue
+		}
+		if !MatchLabels(pod.Labels, svc.Selector) {
+			continue
+		}
+		n := c.nodeByName(pod.NodeName)
+		if n == nil {
+			continue
+		}
+		return cluster.Instance{
+			Service: name,
+			Cluster: c.name,
+			Addr:    n.rt.Host().IP(),
+			Port:    svc.NodePort,
+		}, true
+	}
+	return cluster.Instance{}, false
+}
+
+// Services implements cluster.Cluster.
+func (c *Cluster) Services() []string {
+	names := make([]string, 0, len(c.services))
+	for n := range c.services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetReplicas implements cluster.Scalable: set the Deployment's desired
+// replica count directly (beyond the on-demand 0->1 scale-up).
+func (c *Cluster) SetReplicas(p *sim.Proc, name string, replicas int) error {
+	if _, ok := c.services[name]; !ok {
+		return fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
+	}
+	if replicas < 0 {
+		return fmt.Errorf("kube: negative replicas %d", replicas)
+	}
+	d, err := c.api.GetDeployment(p, name)
+	if err != nil {
+		return err
+	}
+	if d.Replicas == replicas {
+		return nil
+	}
+	d.Replicas = replicas
+	return c.api.UpdateDeployment(p, d)
+}
+
+// Endpoints implements cluster.MultiEndpoint: every running pod of the
+// service, exposed on its node at the service NodePort.
+func (c *Cluster) Endpoints(name string) []cluster.Instance {
+	svc, ok := c.api.services[name]
+	if !ok {
+		return nil
+	}
+	var out []cluster.Instance
+	for _, pod := range c.api.pods {
+		if pod.Phase != PodRunning || pod.NodeName == "" {
+			continue
+		}
+		if !MatchLabels(pod.Labels, svc.Selector) {
+			continue
+		}
+		n := c.nodeByName(pod.NodeName)
+		if n == nil {
+			continue
+		}
+		out = append(out, cluster.Instance{
+			Service: name,
+			Cluster: c.name,
+			Addr:    n.rt.Host().IP(),
+			Port:    svc.NodePort,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

@@ -1,0 +1,143 @@
+package kube
+
+import (
+	"sort"
+	"time"
+
+	"transparentedge/internal/sim"
+)
+
+// KindNode is the node object kind.
+const KindNode Kind = "Node"
+
+// Node is a cluster member's API object, kept alive by kubelet heartbeats.
+type Node struct {
+	Name            string
+	Ready           bool
+	LastHeartbeat   sim.Time
+	ResourceVersion uint64
+}
+
+func copyNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	cp := *n
+	return &cp
+}
+
+// UpsertNode records a node heartbeat (creating the object on first use).
+func (a *APIServer) UpsertNode(p *sim.Proc, name string, ready bool) {
+	a.charge(p)
+	n, ok := a.nodes[name]
+	if !ok {
+		n = &Node{Name: name}
+		a.nodes[name] = n
+	}
+	n.Ready = ready
+	n.LastHeartbeat = a.k.Now()
+	n.ResourceVersion = a.bump()
+	a.publish(Event{Type: Modified, Kind: KindNode, Name: name, Object: copyNode(n)})
+}
+
+// GetNode returns a copy of the node object (nil if never heartbeated).
+func (a *APIServer) GetNode(p *sim.Proc, name string) *Node {
+	a.charge(p)
+	return copyNode(a.nodes[name])
+}
+
+// ListNodes returns copies of all node objects, sorted by name.
+func (a *APIServer) ListNodes(p *sim.Proc) []*Node {
+	a.charge(p)
+	out := make([]*Node, 0, len(a.nodes))
+	for _, n := range a.nodes {
+		out = append(out, copyNode(n))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// nodeSchedulable reports whether a node may receive pods: unknown nodes
+// (no heartbeat yet, e.g. right after cluster start) are assumed fine;
+// known NotReady nodes are excluded.
+func (a *APIServer) nodeSchedulable(name string) bool {
+	n, ok := a.nodes[name]
+	return !ok || n.Ready
+}
+
+// NodeLifecycleConfig models the node controller's timing (Kubernetes
+// defaults: 10 s heartbeats, 40 s grace, 5 s monitor period).
+type NodeLifecycleConfig struct {
+	HeartbeatPeriod time.Duration
+	GracePeriod     time.Duration
+	MonitorPeriod   time.Duration
+}
+
+// DefaultNodeLifecycleConfig returns the Kubernetes-like defaults.
+func DefaultNodeLifecycleConfig() NodeLifecycleConfig {
+	return NodeLifecycleConfig{
+		HeartbeatPeriod: 10 * time.Second,
+		GracePeriod:     40 * time.Second,
+		MonitorPeriod:   5 * time.Second,
+	}
+}
+
+// RunNodeLifecycleController starts the node controller: nodes whose
+// heartbeat is older than the grace period are marked NotReady and their
+// pods evicted (deleted), so the ReplicaSet controller recreates them and
+// the scheduler places them on surviving nodes.
+func RunNodeLifecycleController(api *APIServer, cfg NodeLifecycleConfig) {
+	if cfg.MonitorPeriod <= 0 {
+		cfg.MonitorPeriod = 5 * time.Second
+	}
+	if cfg.GracePeriod <= 0 {
+		cfg.GracePeriod = 40 * time.Second
+	}
+	api.Kernel().Go("node-lifecycle-controller", func(p *sim.Proc) {
+		for {
+			p.Sleep(cfg.MonitorPeriod)
+			now := api.Kernel().Now()
+			for _, n := range api.ListNodes(p) {
+				if !n.Ready || now-n.LastHeartbeat <= cfg.GracePeriod {
+					continue
+				}
+				// Mark NotReady and evict.
+				stale := api.nodes[n.Name]
+				if stale == nil {
+					continue
+				}
+				stale.Ready = false
+				stale.ResourceVersion = api.bump()
+				api.publish(Event{Type: Modified, Kind: KindNode, Name: n.Name, Object: copyNode(stale)})
+				for _, pod := range api.ListPods(p, nil) {
+					if pod.NodeName == n.Name {
+						api.DeletePod(p, pod.Name)
+					}
+				}
+			}
+		}
+	})
+}
+
+// startHeartbeats runs the kubelet's node-status loop.
+func (kl *Kubelet) startHeartbeats(period time.Duration) {
+	if period <= 0 {
+		return
+	}
+	kl.api.Kernel().Go("kubelet:"+kl.nodeName+":heartbeat", func(p *sim.Proc) {
+		for {
+			if !kl.failed {
+				kl.api.UpsertNode(p, kl.nodeName, true)
+			}
+			p.Sleep(period)
+		}
+	})
+}
+
+// SetFailed simulates a node crash (true): the kubelet stops heartbeating
+// and stops acting on pod events, so the node controller eventually marks
+// the node NotReady and evicts its pods. Setting false revives the node.
+func (kl *Kubelet) SetFailed(failed bool) { kl.failed = failed }
+
+// Failed reports whether the node is currently failed.
+func (kl *Kubelet) Failed() bool { return kl.failed }

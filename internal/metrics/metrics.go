@@ -1,0 +1,279 @@
+// Package metrics collects and summarizes latency samples the way the
+// paper's evaluation does: per-request total times (timecurl-style),
+// reduced to medians and percentiles, and rendered as rows/series matching
+// the paper's tables and figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one measured duration with the (virtual) time it was taken.
+type Sample struct {
+	At    time.Duration // simulation timestamp of the measurement
+	Value time.Duration // measured quantity (e.g. request total time)
+}
+
+// Series is an append-only collection of samples with summary statistics.
+type Series struct {
+	Name    string
+	samples []Sample
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add records a sample.
+func (s *Series) Add(at, value time.Duration) {
+	s.samples = append(s.samples, Sample{At: at, Value: value})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Samples returns a copy of the recorded samples in insertion order.
+func (s *Series) Samples() []Sample {
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Values returns the sample values in insertion order.
+func (s *Series) Values() []time.Duration {
+	out := make([]time.Duration, len(s.samples))
+	for i, smp := range s.samples {
+		out[i] = smp.Value
+	}
+	return out
+}
+
+func (s *Series) sorted() []time.Duration {
+	vals := s.Values()
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Median returns the median sample value (0 for an empty series).
+func (s *Series) Median() time.Duration { return s.Percentile(50) }
+
+// Percentile returns the p-th percentile (nearest-rank with linear
+// interpolation). p must be in [0,100].
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	vals := s.sorted()
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	rank := p / 100 * float64(len(vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := rank - float64(lo)
+	return vals[lo] + time.Duration(frac*float64(vals[hi]-vals[lo]))
+}
+
+// Min returns the smallest sample value (0 for an empty series).
+func (s *Series) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	min := s.samples[0].Value
+	for _, smp := range s.samples[1:] {
+		if smp.Value < min {
+			min = smp.Value
+		}
+	}
+	return min
+}
+
+// Max returns the largest sample value (0 for an empty series).
+func (s *Series) Max() time.Duration {
+	var max time.Duration
+	for _, smp := range s.samples {
+		if smp.Value > max {
+			max = smp.Value
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, smp := range s.samples {
+		sum += smp.Value
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() time.Duration {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var acc float64
+	for _, smp := range s.samples {
+		d := float64(smp.Value) - mean
+		acc += d * d
+	}
+	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// Histogram buckets samples-per-interval over the observation window,
+// reproducing the shape of the paper's figs. 9/10 (events per second).
+// It returns one count per interval from t=0 to the last sample.
+func (s *Series) Histogram(interval time.Duration) []int {
+	if len(s.samples) == 0 || interval <= 0 {
+		return nil
+	}
+	var last time.Duration
+	for _, smp := range s.samples {
+		if smp.At > last {
+			last = smp.At
+		}
+	}
+	buckets := make([]int, int(last/interval)+1)
+	for _, smp := range s.samples {
+		buckets[int(smp.At/interval)]++
+	}
+	return buckets
+}
+
+// Table renders named rows of duration cells with a header, in the style of
+// the paper's per-figure summaries.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []tableRow
+}
+
+type tableRow struct {
+	name  string
+	cells []time.Duration
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; the number of cells must match the column count.
+func (t *Table) AddRow(name string, cells ...time.Duration) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row %q has %d cells, table has %d columns",
+			name, len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, tableRow{name: name, cells: cells})
+}
+
+// Rows returns the row names in insertion order.
+func (t *Table) Rows() []string {
+	names := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		names[i] = r.name
+	}
+	return names
+}
+
+// Cell returns the value at (row name, column name); ok is false when the
+// row or column does not exist.
+func (t *Table) Cell(row, col string) (time.Duration, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.rows {
+		if r.name == row {
+			return r.cells[ci], true
+		}
+	}
+	return 0, false
+}
+
+// FormatDuration renders a duration with millisecond precision, the
+// resolution the paper reports.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3f ms", float64(d)/float64(time.Millisecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.0f ms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	}
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	width := 12
+	for _, c := range t.Columns {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	nameWidth := 10
+	for _, r := range t.rows {
+		if len(r.name) > nameWidth {
+			nameWidth = len(r.name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameWidth+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", nameWidth+2, r.name)
+		for _, v := range r.cells {
+			fmt.Fprintf(&b, "%*s", width, FormatDuration(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (row name first), for
+// plotting the figures outside Go.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("name")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(r.name)
+		for _, v := range r.cells {
+			fmt.Fprintf(&b, ",%.3f", float64(v)/float64(time.Millisecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,486 @@
+// Package openflow models the SDN data plane of the paper: an OVS-like
+// switch with a priority-ordered flow table, header-rewrite actions
+// (set-field on IP/port — the packet filtering and rewriting capabilities
+// of OpenFlow the transparent-access approach relies on), idle and hard
+// timeouts with flow-removed notifications, packet-in on registered
+// addresses, and packet-out / flow-mod from the controller.
+//
+// The switch also offers a NORMAL action (as OVS does): plain L3 forwarding
+// via a static route table, used for all traffic that is not redirected.
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+)
+
+// OutputKind says where a matched packet goes.
+type OutputKind int
+
+// Output kinds.
+const (
+	// OutputNormal forwards via the switch's static L3 routes.
+	OutputNormal OutputKind = iota
+	// OutputPort forwards out of a specific switch port.
+	OutputPort
+	// OutputController punts the packet to the SDN controller (packet-in).
+	OutputController
+	// OutputDrop discards the packet.
+	OutputDrop
+)
+
+// Match selects packets; zero-valued fields are wildcards.
+type Match struct {
+	SrcIP   simnet.Addr
+	DstIP   simnet.Addr
+	SrcPort int
+	DstPort int
+}
+
+// Matches reports whether pkt satisfies the match.
+func (m Match) Matches(pkt *simnet.Packet) bool {
+	if m.SrcIP != "" && m.SrcIP != pkt.SrcIP {
+		return false
+	}
+	if m.DstIP != "" && m.DstIP != pkt.DstIP {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != pkt.SrcPort {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != pkt.DstPort {
+		return false
+	}
+	return true
+}
+
+func (m Match) String() string {
+	return fmt.Sprintf("src=%s:%d dst=%s:%d", orAny(string(m.SrcIP)), m.SrcPort, orAny(string(m.DstIP)), m.DstPort)
+}
+
+func orAny(s string) string {
+	if s == "" {
+		return "*"
+	}
+	return s
+}
+
+// Actions rewrites headers (set-field) and outputs the packet. Zero-valued
+// set fields leave the header unchanged.
+type Actions struct {
+	SetSrcIP   simnet.Addr
+	SetDstIP   simnet.Addr
+	SetSrcPort int
+	SetDstPort int
+	Output     OutputKind
+	OutPort    int // valid when Output == OutputPort
+}
+
+func (a Actions) apply(pkt *simnet.Packet) {
+	if a.SetSrcIP != "" {
+		pkt.SrcIP = a.SetSrcIP
+	}
+	if a.SetDstIP != "" {
+		pkt.DstIP = a.SetDstIP
+	}
+	if a.SetSrcPort != 0 {
+		pkt.SrcPort = a.SetSrcPort
+	}
+	if a.SetDstPort != 0 {
+		pkt.DstPort = a.SetDstPort
+	}
+}
+
+// FlowRule is one table entry.
+type FlowRule struct {
+	Priority    int
+	Match       Match
+	Actions     Actions
+	IdleTimeout time.Duration // 0 = no idle expiry
+	HardTimeout time.Duration // 0 = no hard expiry
+	Cookie      uint64
+	// NotifyRemoved requests a flow-removed message on expiry.
+	NotifyRemoved bool
+
+	installed sim.Time
+	lastUsed  sim.Time
+	packets   uint64
+	bytes     simnet.Bytes
+	removed   bool
+	seq       uint64 // insertion order (tie-break among equal priorities)
+}
+
+// Stats returns the rule's packet and byte counters.
+func (r *FlowRule) Stats() (packets uint64, bytes simnet.Bytes) { return r.packets, r.bytes }
+
+// PacketIn is the event handed to the controller on a table hit with
+// OutputController (or on table miss if the switch is so configured).
+type PacketIn struct {
+	Switch *Switch
+	InPort int
+	Packet *simnet.Packet
+}
+
+// Controller receives packet-in and flow-removed messages. It runs in
+// kernel event context and must not block (spawn processes for long work).
+type Controller interface {
+	HandlePacketIn(ev PacketIn)
+	HandleFlowRemoved(sw *Switch, rule *FlowRule)
+}
+
+// Config models the switch's forwarding characteristics.
+type Config struct {
+	// FwdDelay is per-packet pipeline latency.
+	FwdDelay time.Duration
+	// ControllerLatency is the switch<->controller channel delay, charged
+	// each way (packet-in and flow-mod/packet-out are asymmetric calls in
+	// a real deployment; the paper colocates both on the EGS).
+	ControllerLatency time.Duration
+	// MissBehavior is applied on table miss.
+	MissBehavior OutputKind
+}
+
+// DefaultConfig mirrors a local OVS with the controller on the same host.
+func DefaultConfig() Config {
+	return Config{
+		FwdDelay:          20 * time.Microsecond,
+		ControllerLatency: 300 * time.Microsecond,
+		MissBehavior:      OutputNormal,
+	}
+}
+
+// sigKey encodes which match fields a rule specifies; rules with the same
+// signature live in one exact-match map so a lookup is O(signatures)
+// instead of O(rules). Wildcard-heavy rules are rare (punt rules per
+// service); client redirect rules are fully keyed and hit the maps.
+type sigKey uint8
+
+const (
+	sigSrcIP sigKey = 1 << iota
+	sigDstIP
+	sigSrcPort
+	sigDstPort
+)
+
+func signatureOf(m Match) sigKey {
+	var s sigKey
+	if m.SrcIP != "" {
+		s |= sigSrcIP
+	}
+	if m.DstIP != "" {
+		s |= sigDstIP
+	}
+	if m.SrcPort != 0 {
+		s |= sigSrcPort
+	}
+	if m.DstPort != 0 {
+		s |= sigDstPort
+	}
+	return s
+}
+
+// matchKey is the concrete field tuple of a rule (or packet) under one
+// signature.
+type matchKey struct {
+	srcIP, dstIP     simnet.Addr
+	srcPort, dstPort int
+}
+
+func keyOf(sig sigKey, srcIP, dstIP simnet.Addr, srcPort, dstPort int) matchKey {
+	var k matchKey
+	if sig&sigSrcIP != 0 {
+		k.srcIP = srcIP
+	}
+	if sig&sigDstIP != 0 {
+		k.dstIP = dstIP
+	}
+	if sig&sigSrcPort != 0 {
+		k.srcPort = srcPort
+	}
+	if sig&sigDstPort != 0 {
+		k.dstPort = dstPort
+	}
+	return k
+}
+
+// Switch is an OpenFlow switch node.
+type Switch struct {
+	name       string
+	net        *simnet.Network
+	cfg        Config
+	table      []*FlowRule
+	index      map[sigKey]map[matchKey][]*FlowRule
+	seq        uint64
+	ports      map[int]*simnet.Port
+	portOf     map[*simnet.Port]int
+	routes     map[simnet.Addr]int
+	defaultOut int // port used when no route matches (toward the cloud); -1 = none
+	controller Controller
+	nextCookie uint64
+	// PacketsIn counts packets punted to the controller (diagnostics).
+	PacketsIn uint64
+}
+
+// NewSwitch creates a switch node.
+func NewSwitch(n *simnet.Network, name string, cfg Config) *Switch {
+	s := &Switch{
+		name:       name,
+		net:        n,
+		cfg:        cfg,
+		index:      make(map[sigKey]map[matchKey][]*FlowRule),
+		ports:      make(map[int]*simnet.Port),
+		portOf:     make(map[*simnet.Port]int),
+		routes:     make(map[simnet.Addr]int),
+		defaultOut: -1,
+	}
+	n.Register(s)
+	return s
+}
+
+// Name implements simnet.Node.
+func (s *Switch) Name() string { return s.name }
+
+// SetController wires the SDN controller.
+func (s *Switch) SetController(c Controller) { s.controller = c }
+
+// AddPort registers a switch port under the given number.
+func (s *Switch) AddPort(num int, p *simnet.Port) {
+	if _, dup := s.ports[num]; dup {
+		panic(fmt.Sprintf("openflow: %s: duplicate port %d", s.name, num))
+	}
+	s.ports[num] = p
+	s.portOf[p] = num
+}
+
+// AttachHost connects a host to the switch with one link, registers the
+// switch port under num, and routes the host's address to it.
+func (s *Switch) AttachHost(h *simnet.Host, num int, link simnet.LinkConfig) {
+	_, sp := h.AttachTo(s, link)
+	s.AddPort(num, sp)
+	s.SetRoute(h.IP(), num)
+}
+
+// SetRoute adds a NORMAL-forwarding route for ip via port num.
+func (s *Switch) SetRoute(ip simnet.Addr, num int) { s.routes[ip] = num }
+
+// SetDefaultRoute sets the port used when no route matches (the uplink
+// toward the cloud).
+func (s *Switch) SetDefaultRoute(num int) { s.defaultOut = num }
+
+// PortOf returns the port number a host's address routes to (-1 if none).
+func (s *Switch) PortOf(ip simnet.Addr) int {
+	if n, ok := s.routes[ip]; ok {
+		return n
+	}
+	return -1
+}
+
+// Rules returns the current flow table, highest priority first (copy).
+func (s *Switch) Rules() []*FlowRule {
+	return append([]*FlowRule(nil), s.table...)
+}
+
+// AddFlow installs a rule (flow-mod ADD) and returns it. Rules are kept
+// sorted by descending priority; among equal priorities, earlier install
+// wins.
+func (s *Switch) AddFlow(rule FlowRule) *FlowRule {
+	r := rule
+	s.nextCookie++
+	if r.Cookie == 0 {
+		r.Cookie = s.nextCookie
+	}
+	now := s.net.K.Now()
+	r.installed = now
+	r.lastUsed = now
+	s.seq++
+	r.seq = s.seq
+	s.table = append(s.table, &r)
+	sort.SliceStable(s.table, func(i, j int) bool {
+		return s.table[i].Priority > s.table[j].Priority
+	})
+	s.indexAdd(&r)
+	if r.IdleTimeout > 0 {
+		s.scheduleIdleCheck(&r)
+	}
+	if r.HardTimeout > 0 {
+		rp := &r
+		s.net.K.After(r.HardTimeout, func() { s.expire(rp) })
+	}
+	return &r
+}
+
+func (s *Switch) scheduleIdleCheck(r *FlowRule) {
+	due := r.lastUsed + r.IdleTimeout
+	s.net.K.At(due, func() {
+		if r.removed {
+			return
+		}
+		now := s.net.K.Now()
+		if now-r.lastUsed >= r.IdleTimeout {
+			s.expire(r)
+			return
+		}
+		s.scheduleIdleCheck(r)
+	})
+}
+
+func (s *Switch) expire(r *FlowRule) {
+	if r.removed {
+		return
+	}
+	s.removeRule(r)
+	if r.NotifyRemoved && s.controller != nil {
+		r := r
+		s.net.K.After(s.cfg.ControllerLatency, func() {
+			s.controller.HandleFlowRemoved(s, r)
+		})
+	}
+}
+
+func (s *Switch) removeRule(r *FlowRule) {
+	r.removed = true
+	s.indexRemove(r)
+	for i, t := range s.table {
+		if t == r {
+			s.table = append(s.table[:i], s.table[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Switch) indexAdd(r *FlowRule) {
+	sig := signatureOf(r.Match)
+	bucket := s.index[sig]
+	if bucket == nil {
+		bucket = make(map[matchKey][]*FlowRule)
+		s.index[sig] = bucket
+	}
+	key := keyOf(sig, r.Match.SrcIP, r.Match.DstIP, r.Match.SrcPort, r.Match.DstPort)
+	bucket[key] = append(bucket[key], r)
+}
+
+func (s *Switch) indexRemove(r *FlowRule) {
+	sig := signatureOf(r.Match)
+	bucket := s.index[sig]
+	if bucket == nil {
+		return
+	}
+	key := keyOf(sig, r.Match.SrcIP, r.Match.DstIP, r.Match.SrcPort, r.Match.DstPort)
+	rules := bucket[key]
+	for i, t := range rules {
+		if t == r {
+			bucket[key] = append(rules[:i], rules[i+1:]...)
+			break
+		}
+	}
+	if len(bucket[key]) == 0 {
+		delete(bucket, key)
+	}
+}
+
+// lookup finds the highest-priority matching rule (first-installed among
+// equals) via the signature index: one map probe per distinct signature in
+// the table, independent of the rule count.
+func (s *Switch) lookup(pkt *simnet.Packet) *FlowRule {
+	var best *FlowRule
+	for sig, bucket := range s.index {
+		key := keyOf(sig, pkt.SrcIP, pkt.DstIP, pkt.SrcPort, pkt.DstPort)
+		for _, r := range bucket[key] {
+			if best == nil || r.Priority > best.Priority ||
+				(r.Priority == best.Priority && r.seq < best.seq) {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// DeleteFlows removes all rules with the given cookie (flow-mod DELETE)
+// and returns how many were removed. No flow-removed messages are sent.
+func (s *Switch) DeleteFlows(cookie uint64) int {
+	n := 0
+	for _, r := range s.Rules() {
+		if r.Cookie == cookie {
+			s.removeRule(r)
+			n++
+		}
+	}
+	return n
+}
+
+// HandlePacket implements simnet.Node: run the packet through the table.
+func (s *Switch) HandlePacket(in *simnet.Port, pkt *simnet.Packet) {
+	inPort := s.portOf[in]
+	deliver := func() { s.process(inPort, pkt) }
+	if s.cfg.FwdDelay > 0 {
+		s.net.K.After(s.cfg.FwdDelay, deliver)
+		return
+	}
+	deliver()
+}
+
+func (s *Switch) process(inPort int, pkt *simnet.Packet) {
+	if r := s.lookup(pkt); r != nil {
+		r.packets++
+		r.bytes += pkt.Size
+		r.lastUsed = s.net.K.Now()
+		r.Actions.apply(pkt)
+		s.output(r.Actions, inPort, pkt)
+		return
+	}
+	s.output(Actions{Output: s.cfg.MissBehavior}, inPort, pkt)
+}
+
+func (s *Switch) output(a Actions, inPort int, pkt *simnet.Packet) {
+	switch a.Output {
+	case OutputDrop:
+	case OutputPort:
+		if p, ok := s.ports[a.OutPort]; ok {
+			p.Send(pkt)
+		}
+	case OutputController:
+		s.PacketsIn++
+		if s.controller == nil {
+			return
+		}
+		ev := PacketIn{Switch: s, InPort: inPort, Packet: pkt}
+		s.net.K.After(s.cfg.ControllerLatency, func() {
+			s.controller.HandlePacketIn(ev)
+		})
+	case OutputNormal:
+		out, ok := s.routes[pkt.DstIP]
+		if !ok {
+			out = s.defaultOut
+		}
+		if out < 0 {
+			return // drop: no route
+		}
+		if p, ok := s.ports[out]; ok {
+			p.Send(pkt)
+		}
+	}
+}
+
+// PacketOut re-injects a packet from the controller into the switch
+// pipeline after the controller latency, applying the given actions
+// directly (OFPT_PACKET_OUT with an action list). Use OutputNormal in a to
+// route by destination, or run it through the table with TableOut.
+func (s *Switch) PacketOut(pkt *simnet.Packet, a Actions) {
+	s.net.K.After(s.cfg.ControllerLatency, func() {
+		a.apply(pkt)
+		s.output(a, -1, pkt)
+	})
+}
+
+// TableOut re-injects a packet to be processed by the (possibly updated)
+// flow table — the OFPP_TABLE output of packet-out, which the paper's
+// controller uses to release a held request after installing its flows.
+func (s *Switch) TableOut(pkt *simnet.Packet) {
+	s.net.K.After(s.cfg.ControllerLatency, func() {
+		s.process(-1, pkt)
+	})
+}

@@ -1,0 +1,282 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+)
+
+// rig builds an edge host and a registry host joined by a configurable link.
+type rig struct {
+	k      *sim.Kernel
+	edge   *simnet.Host
+	server *Server
+	client *Client
+}
+
+func newRig(t *testing.T, link simnet.LinkConfig, srvCfg ServerConfig, cliCfg ClientConfig) *rig {
+	t.Helper()
+	k := sim.New(1)
+	n := simnet.NewNetwork(k)
+	edge := simnet.NewHost(n, "edge", "10.0.0.1")
+	reg := simnet.NewHost(n, "registry", "198.51.100.1")
+	r := simnet.NewRouter(n, "r")
+	_, re := edge.AttachTo(r, simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 10 * simnet.Gbps})
+	_, rr := reg.AttachTo(r, link)
+	r.AddRoute(edge.IP(), re)
+	r.AddRoute(reg.IP(), rr)
+	srv := NewServer(reg, srvCfg)
+	resolver := NewResolver()
+	resolver.AddPrefix("", reg.IP())
+	return &rig{k: k, edge: edge, server: srv, client: NewClient(edge, resolver, cliCfg)}
+}
+
+func testImage(ref string, layerSizes ...simnet.Bytes) Image {
+	img := Image{Ref: ref}
+	for i, s := range layerSizes {
+		img.Layers = append(img.Layers, Layer{
+			Digest: ref + "-l" + string(rune('0'+i)),
+			Size:   s,
+		})
+	}
+	return img
+}
+
+func TestPullStoresImageAndLayers(t *testing.T) {
+	rg := newRig(t, simnet.LinkConfig{Latency: time.Millisecond, Bandwidth: 1 * simnet.Gbps},
+		ServerConfig{}, DefaultClientConfig())
+	img := testImage("nginx:1", 10*simnet.MiB, 5*simnet.MiB)
+	rg.server.Add(img)
+	var err error
+	rg.k.Go("pull", func(p *sim.Proc) { err = rg.client.Pull(p, "nginx:1") })
+	rg.k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.client.HasImage("nginx:1") {
+		t.Fatal("image not present after pull")
+	}
+	for _, l := range img.Layers {
+		if !rg.client.HasLayer(l.Digest) {
+			t.Fatalf("layer %s missing", l.Digest)
+		}
+	}
+	if rg.client.PullCount != 1 {
+		t.Fatalf("PullCount = %d", rg.client.PullCount)
+	}
+}
+
+func TestPullUnknownImage(t *testing.T) {
+	rg := newRig(t, simnet.LinkConfig{Latency: time.Millisecond}, ServerConfig{}, DefaultClientConfig())
+	var err error
+	rg.k.Go("pull", func(p *sim.Proc) { err = rg.client.Pull(p, "ghost:1") })
+	rg.k.Run()
+	if !errors.Is(err, ErrUnknownImage) {
+		t.Fatalf("err = %v, want ErrUnknownImage", err)
+	}
+}
+
+func TestPullSkipsCachedLayers(t *testing.T) {
+	rg := newRig(t, simnet.LinkConfig{Latency: time.Millisecond, Bandwidth: 100 * simnet.Mbps},
+		ServerConfig{}, DefaultClientConfig())
+	shared := Layer{Digest: "base-0", Size: 50 * simnet.MiB}
+	a := Image{Ref: "a:1", Layers: []Layer{shared, {Digest: "a-1", Size: simnet.MiB}}}
+	b := Image{Ref: "b:1", Layers: []Layer{shared, {Digest: "b-1", Size: simnet.MiB}}}
+	rg.server.Add(a)
+	rg.server.Add(b)
+	var tA, tB time.Duration
+	rg.k.Go("pulls", func(p *sim.Proc) {
+		start := p.Now()
+		if err := rg.client.Pull(p, "a:1"); err != nil {
+			t.Errorf("pull a: %v", err)
+		}
+		tA = p.Now() - start
+		start = p.Now()
+		if err := rg.client.Pull(p, "b:1"); err != nil {
+			t.Errorf("pull b: %v", err)
+		}
+		tB = p.Now() - start
+	})
+	rg.k.Run()
+	if rg.server.Pulls["base-0"] != 1 {
+		t.Fatalf("base layer downloaded %d times, want 1", rg.server.Pulls["base-0"])
+	}
+	if tB >= tA/2 {
+		t.Fatalf("cached-base pull (%v) not much faster than cold pull (%v)", tB, tA)
+	}
+}
+
+func TestPullTimeScalesWithBandwidth(t *testing.T) {
+	pull := func(bw simnet.BitsPerSec) time.Duration {
+		rg := newRig(t, simnet.LinkConfig{Latency: 10 * time.Millisecond, Bandwidth: bw},
+			ServerConfig{}, ClientConfig{MaxConcurrentDownloads: 3, UnpackRate: 0})
+		rg.server.Add(testImage("big:1", 100*simnet.MiB))
+		var d time.Duration
+		rg.k.Go("pull", func(p *sim.Proc) {
+			start := p.Now()
+			if err := rg.client.Pull(p, "big:1"); err != nil {
+				t.Errorf("pull: %v", err)
+			}
+			d = p.Now() - start
+		})
+		rg.k.Run()
+		return d
+	}
+	fast := pull(1000 * simnet.Mbps)
+	slow := pull(100 * simnet.Mbps)
+	if slow < 9*fast/2 { // roughly 10x, allow slack for fixed costs
+		t.Fatalf("slow=%v fast=%v, want ~10x ratio", slow, fast)
+	}
+}
+
+func TestPerLayerLatencyMatters(t *testing.T) {
+	// Same total size, more layers -> slower when the registry charges
+	// per-blob latency (the paper's fig. 13 note).
+	pull := func(nLayers int) time.Duration {
+		rg := newRig(t, simnet.LinkConfig{Latency: 30 * time.Millisecond, Bandwidth: 1 * simnet.Gbps},
+			ServerConfig{ManifestLatency: 100 * time.Millisecond, BlobLatency: 150 * time.Millisecond},
+			ClientConfig{MaxConcurrentDownloads: 1, UnpackRate: 0})
+		total := 60 * simnet.MiB
+		img := Image{Ref: "img:1"}
+		for i := 0; i < nLayers; i++ {
+			img.Layers = append(img.Layers, Layer{
+				Digest: "d" + string(rune('a'+i)),
+				Size:   total / simnet.Bytes(nLayers),
+			})
+		}
+		rg.server.Add(img)
+		var d time.Duration
+		rg.k.Go("pull", func(p *sim.Proc) {
+			start := p.Now()
+			if err := rg.client.Pull(p, "img:1"); err != nil {
+				t.Errorf("pull: %v", err)
+			}
+			d = p.Now() - start
+		})
+		rg.k.Run()
+		return d
+	}
+	one, nine := pull(1), pull(9)
+	if nine <= one+8*150*time.Millisecond {
+		t.Fatalf("9-layer pull %v vs 1-layer %v: per-layer cost not visible", nine, one)
+	}
+}
+
+func TestConcurrentDownloadsBounded(t *testing.T) {
+	// With 6 equal layers and concurrency 3 on a shared link, the pull
+	// takes about the same as 6 sequential transfers of the fair-shared
+	// link (conservation), but must beat concurrency-1 on a latency-bound
+	// workload.
+	mk := func(conc int) time.Duration {
+		rg := newRig(t, simnet.LinkConfig{Latency: 50 * time.Millisecond, Bandwidth: 0},
+			ServerConfig{BlobLatency: 100 * time.Millisecond},
+			ClientConfig{MaxConcurrentDownloads: conc, UnpackRate: 0})
+		img := Image{Ref: "i:1"}
+		for i := 0; i < 6; i++ {
+			img.Layers = append(img.Layers, Layer{Digest: "d" + string(rune('0'+i)), Size: simnet.KiB})
+		}
+		rg.server.Add(img)
+		var d time.Duration
+		rg.k.Go("pull", func(p *sim.Proc) {
+			start := p.Now()
+			rg.client.Pull(p, "i:1")
+			d = p.Now() - start
+		})
+		rg.k.Run()
+		return d
+	}
+	seq, par := mk(1), mk(3)
+	if par >= seq {
+		t.Fatalf("parallel pull (%v) not faster than sequential (%v)", par, seq)
+	}
+}
+
+func TestRemoveImageKeepsSharedLayers(t *testing.T) {
+	rg := newRig(t, simnet.LinkConfig{Latency: time.Millisecond}, ServerConfig{}, DefaultClientConfig())
+	shared := Layer{Digest: "base", Size: simnet.MiB}
+	rg.server.Add(Image{Ref: "a:1", Layers: []Layer{shared, {Digest: "a1", Size: simnet.KiB}}})
+	rg.server.Add(Image{Ref: "b:1", Layers: []Layer{shared, {Digest: "b1", Size: simnet.KiB}}})
+	rg.k.Go("pulls", func(p *sim.Proc) {
+		rg.client.Pull(p, "a:1")
+		rg.client.Pull(p, "b:1")
+	})
+	rg.k.Run()
+	rg.client.RemoveImage("a:1")
+	if rg.client.HasImage("a:1") {
+		t.Fatal("a:1 still present")
+	}
+	if !rg.client.HasLayer("base") {
+		t.Fatal("shared base layer deleted while b:1 still references it")
+	}
+	if rg.client.HasLayer("a1") {
+		t.Fatal("unreferenced layer a1 not deleted")
+	}
+	rg.client.RemoveImage("b:1")
+	if rg.client.HasLayer("base") {
+		t.Fatal("base layer kept with no referencing image")
+	}
+}
+
+func TestResolverLongestPrefix(t *testing.T) {
+	r := NewResolver()
+	r.AddPrefix("", "1.1.1.1")
+	r.AddPrefix("gcr.io/", "2.2.2.2")
+	if a, _ := r.Resolve("nginx:1.23.2"); a != "1.1.1.1" {
+		t.Fatalf("nginx -> %s", a)
+	}
+	if a, _ := r.Resolve("gcr.io/tensorflow-serving/resnet"); a != "2.2.2.2" {
+		t.Fatalf("gcr image -> %s", a)
+	}
+	empty := NewResolver()
+	if _, err := empty.Resolve("x"); !errors.Is(err, ErrUnknownRegistry) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestImageTotalSize(t *testing.T) {
+	img := testImage("x:1", 10, 20, 30)
+	if img.TotalSize() != 60 {
+		t.Fatalf("TotalSize = %d", img.TotalSize())
+	}
+}
+
+func TestServerImagesSorted(t *testing.T) {
+	k := sim.New(1)
+	n := simnet.NewNetwork(k)
+	h := simnet.NewHost(n, "r", "1.1.1.1")
+	s := NewServer(h, ServerConfig{})
+	s.Add(testImage("zeta:1", 1))
+	s.Add(testImage("alpha:1", 1))
+	imgs := s.Images()
+	if len(imgs) != 2 || imgs[0] != "alpha:1" {
+		t.Fatalf("Images = %v", imgs)
+	}
+}
+
+func TestPullFailsWhenRegistryUnreachable(t *testing.T) {
+	rg := newRig(t, simnet.LinkConfig{Latency: time.Millisecond, Bandwidth: simnet.Gbps},
+		ServerConfig{}, ClientConfig{RequestTimeout: 2 * time.Second})
+	rg.server.Add(testImage("nginx:1", simnet.MiB))
+	// Resolve the image to an address where nothing listens: the SYN is
+	// dropped and the request must time out instead of hanging forever.
+	res2 := NewResolver()
+	res2.AddPrefix("", "203.0.113.250") // nothing there
+	client := NewClient(rg.edge, res2, ClientConfig{RequestTimeout: 2 * time.Second})
+	var err error
+	var took time.Duration
+	rg.k.Go("pull", func(p *sim.Proc) {
+		t0 := p.Now()
+		err = client.Pull(p, "nginx:1")
+		took = p.Now() - t0
+	})
+	rg.k.RunUntil(time.Minute)
+	if err == nil {
+		t.Fatal("pull from unreachable registry succeeded")
+	}
+	if took < 2*time.Second || took > 3*time.Second {
+		t.Fatalf("pull failed after %v, want ~RequestTimeout", took)
+	}
+}

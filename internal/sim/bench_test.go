@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelEvents measures raw event throughput of the DES kernel
+// (schedule + dispatch of independent callbacks).
+func BenchmarkKernelEvents(b *testing.B) {
+	k := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Duration(i)*time.Nanosecond, func() {})
+	}
+	k.Run()
+}
+
+// BenchmarkKernelNestedEvents measures the common simulation pattern of
+// events scheduling follow-up events (one live chain).
+func BenchmarkKernelNestedEvents(b *testing.B) {
+	k := New(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, step)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, step)
+	k.Run()
+}
+
+// BenchmarkProcContextSwitch measures the goroutine-process handoff cost
+// (park/resume round trip through the kernel).
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := New(1)
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkChanPingPong measures two processes exchanging messages through
+// sim channels.
+func BenchmarkChanPingPong(b *testing.B) {
+	k := New(1)
+	ping := NewChan[int](k)
+	pong := NewChan[int](k)
+	k.Go("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Send(i)
+			pong.Recv(p)
+		}
+	})
+	k.Go("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			v, _ := ping.Recv(p)
+			pong.Send(v)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,51 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"transparentedge/internal/sim"
+)
+
+// Two processes coordinate through a channel entirely in virtual time: the
+// five-second scenario executes instantly and deterministically.
+func Example() {
+	k := sim.New(42)
+	jobs := sim.NewChan[string](k)
+
+	k.Go("producer", func(p *sim.Proc) {
+		for _, job := range []string{"pull", "create", "scale-up"} {
+			p.Sleep(time.Second)
+			jobs.Send(job)
+		}
+		jobs.Close()
+	})
+	k.Go("worker", func(p *sim.Proc) {
+		for {
+			job, ok := jobs.Recv(p)
+			if !ok {
+				return
+			}
+			fmt.Printf("%v: %s\n", p.Now(), job)
+		}
+	})
+	k.Run()
+	// Output:
+	// 1s: pull
+	// 2s: create
+	// 3s: scale-up
+}
+
+// A promise resolves a waiting process at the resolver's virtual time.
+func ExamplePromise() {
+	k := sim.New(1)
+	ready := sim.NewPromise[string](k)
+	k.Go("waiter", func(p *sim.Proc) {
+		v, _ := ready.Await(p)
+		fmt.Printf("%v: %s\n", p.Now(), v)
+	})
+	k.After(500*time.Millisecond, func() { ready.Resolve("deployed") })
+	k.Run()
+	// Output:
+	// 500ms: deployed
+}

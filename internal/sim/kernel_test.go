@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.After(30*time.Millisecond, func() { got = append(got, 3) })
+	k.After(10*time.Millisecond, func() { got = append(got, 1) })
+	k.After(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	if len(got) != 100 {
+		t.Fatalf("executed %d events, want 100", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New(1)
+	ran := false
+	e := k.After(time.Second, func() { ran = true })
+	if !e.Cancel() {
+		t.Fatal("Cancel() = false on pending event")
+	}
+	if e.Cancel() {
+		t.Fatal("second Cancel() = true")
+	}
+	k.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelFired(t *testing.T) {
+	k := New(1)
+	e := k.After(0, func() {})
+	k.Run()
+	if e.Cancel() {
+		t.Fatal("Cancel() = true on fired event")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.After(1*time.Second, func() { got = append(got, 1) })
+	k.After(3*time.Second, func() { got = append(got, 3) })
+	k.RunUntil(2 * time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if k.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", k.Now())
+	}
+	k.Run()
+	if len(got) != 2 {
+		t.Fatalf("remaining event did not run: %v", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 50 {
+			k.After(time.Millisecond, rec)
+		}
+	}
+	k.After(0, rec)
+	k.Run()
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if k.Now() != 49*time.Millisecond {
+		t.Errorf("Now() = %v, want 49ms", k.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := New(1)
+	k.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At() in the past did not panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		k := New(seed)
+		var stamps []time.Duration
+		for i := 0; i < 200; i++ {
+			d := time.Duration(k.Rand().Intn(1000)) * time.Microsecond
+			k.After(d, func() { stamps = append(stamps, k.Now()) })
+		}
+		k.Run()
+		return stamps
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("different event counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of scheduled delays, events fire in nondecreasing
+// time order and the final clock equals the max delay.
+func TestQuickEventOrderInvariant(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		if len(delaysMS) == 0 {
+			return true
+		}
+		k := New(7)
+		var fired []time.Duration
+		var max time.Duration
+		for _, ms := range delaysMS {
+			d := time.Duration(ms) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			k.After(d, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return k.Now() == max && len(fired) == len(delaysMS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepsAndPending(t *testing.T) {
+	k := New(1)
+	k.After(time.Millisecond, func() {})
+	k.After(2*time.Millisecond, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", k.Pending())
+	}
+	k.Run()
+	if k.Steps() != 2 {
+		t.Fatalf("Steps() = %d, want 2", k.Steps())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}

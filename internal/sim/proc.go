@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulation process: a goroutine whose blocking operations
+// (Sleep, channel receives, promise awaits) suspend it in virtual time.
+// Only one process (or event callback) executes at a time; control is handed
+// between the kernel and process goroutines synchronously, so execution
+// remains deterministic.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan func() // kernel -> proc: wake up (optionally run a handoff check)
+	parked chan struct{}
+	dead   bool
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Name returns the diagnostic name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Go spawns a new process. The process body starts executing at the current
+// simulation time (as a separate event), not synchronously.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan func()),
+		parked: make(chan struct{}),
+	}
+	k.After(0, func() { p.start(fn) })
+	return p
+}
+
+// start launches the process goroutine and blocks (as the current event)
+// until the process parks or finishes. Called from kernel context.
+func (p *Proc) start(fn func(p *Proc)) {
+	p.k.procs++
+	go func() {
+		defer func() {
+			p.dead = true
+			p.k.procs--
+			p.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-p.parked
+}
+
+// yield parks the process and transfers control back to the kernel. The
+// process stays parked until some event calls wake.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	f := <-p.resume
+	if f != nil {
+		f()
+	}
+}
+
+// wake resumes a parked process from kernel (event) context and blocks until
+// it parks again or finishes. handoff, if non-nil, runs on the process
+// goroutine immediately after resuming and before user code continues.
+func (p *Proc) wake(handoff func()) {
+	if p.dead {
+		panic("sim: waking dead process " + p.name)
+	}
+	p.resume <- handoff
+	<-p.parked
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.k.After(d, func() { p.wake(nil) })
+	p.yield()
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.Now() {
+		return
+	}
+	p.Sleep(t - p.k.Now())
+}
+
+// Promise is a single-assignment value that processes can await. The zero
+// value is unusable; create with NewPromise.
+type Promise[T any] struct {
+	k        *Kernel
+	done     bool
+	val      T
+	err      error
+	waiters  []*Proc
+	callback []func(T, error)
+}
+
+// NewPromise returns an unresolved promise bound to kernel k.
+func NewPromise[T any](k *Kernel) *Promise[T] {
+	return &Promise[T]{k: k}
+}
+
+// Done reports whether the promise has been resolved.
+func (pr *Promise[T]) Done() bool { return pr.done }
+
+// Resolve completes the promise with a value. Resolving twice panics.
+func (pr *Promise[T]) Resolve(v T) { pr.complete(v, nil) }
+
+// Fail completes the promise with an error.
+func (pr *Promise[T]) Fail(err error) {
+	var zero T
+	pr.complete(zero, err)
+}
+
+func (pr *Promise[T]) complete(v T, err error) {
+	if pr.done {
+		panic("sim: promise resolved twice")
+	}
+	pr.done = true
+	pr.val = v
+	pr.err = err
+	waiters := pr.waiters
+	pr.waiters = nil
+	cbs := pr.callback
+	pr.callback = nil
+	for _, w := range waiters {
+		w := w
+		pr.k.After(0, func() { w.wake(nil) })
+	}
+	for _, cb := range cbs {
+		cb := cb
+		pr.k.After(0, func() { cb(v, err) })
+	}
+}
+
+// Await blocks the process until the promise resolves and returns its value.
+func (pr *Promise[T]) Await(p *Proc) (T, error) {
+	for !pr.done {
+		pr.waiters = append(pr.waiters, p)
+		p.yield()
+	}
+	return pr.val, pr.err
+}
+
+// OnDone registers fn to run (as a fresh event) when the promise resolves;
+// if already resolved, fn is scheduled immediately.
+func (pr *Promise[T]) OnDone(fn func(T, error)) {
+	if pr.done {
+		v, err := pr.val, pr.err
+		pr.k.After(0, func() { fn(v, err) })
+		return
+	}
+	pr.callback = append(pr.callback, fn)
+}
+
+// Chan is an unbounded FIFO message queue whose Recv blocks the receiving
+// process in virtual time. Sends never block (infinite buffer), which is the
+// common need in protocol simulations; use TryRecv for polling.
+type Chan[T any] struct {
+	k       *Kernel
+	buf     []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewChan returns an empty queue bound to kernel k.
+func NewChan[T any](k *Kernel) *Chan[T] { return &Chan[T]{k: k} }
+
+// Len returns the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send enqueues v and wakes one waiting receiver (if any).
+func (c *Chan[T]) Send(v T) {
+	if c.closed {
+		panic("sim: send on closed Chan")
+	}
+	c.buf = append(c.buf, v)
+	c.wakeOne()
+}
+
+// Close marks the channel closed. Blocked and future receivers get ok=false
+// once the buffer drains.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.waiters {
+		w := w
+		c.k.After(0, func() { w.wake(nil) })
+	}
+	c.waiters = nil
+}
+
+func (c *Chan[T]) wakeOne() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.k.After(0, func() { w.wake(nil) })
+}
+
+// Recv blocks until an item is available (or the channel is closed and
+// drained) and returns it.
+func (c *Chan[T]) Recv(p *Proc) (T, bool) {
+	for {
+		if len(c.buf) > 0 {
+			v := c.buf[0]
+			c.buf = c.buf[1:]
+			return v, true
+		}
+		if c.closed {
+			var zero T
+			return zero, false
+		}
+		c.waiters = append(c.waiters, p)
+		p.yield()
+	}
+}
+
+// TryRecv returns an item without blocking; ok is false if none buffered.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	if len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// Signal is a broadcast condition: every Wait blocks until the next
+// Broadcast (edge-triggered, no memory).
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to kernel k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Broadcast wakes every currently waiting process.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.k.After(0, func() { w.wake(nil) })
+	}
+}
+
+// Wait blocks the process until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.yield()
+}
+
+// WaitGroup counts outstanding work items in virtual time.
+type WaitGroup struct {
+	k       *Kernel
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a wait group bound to kernel k.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{k: k} }
+
+// Add increments the counter by delta. A negative result panics.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			w := w
+			wg.k.After(0, func() { w.wake(nil) })
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks the process until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.yield()
+	}
+}

@@ -1,0 +1,422 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"transparentedge/internal/sim"
+)
+
+// Errors returned by connection operations.
+var (
+	ErrConnRefused = errors.New("simnet: connection refused")
+	ErrTimeout     = errors.New("simnet: timeout")
+	ErrConnClosed  = errors.New("simnet: connection closed")
+	ErrNoRoute     = errors.New("simnet: no route to host")
+)
+
+type addrPort struct {
+	ip   Addr
+	port int
+}
+
+func (a addrPort) String() string { return fmt.Sprintf("%s:%d", a.ip, a.port) }
+
+type fourTuple struct {
+	local, remote addrPort
+}
+
+// Host is an end system (client device, edge server, cloud server) with one
+// uplink port, a TCP-ish connection table, and port listeners.
+type Host struct {
+	net       *Network
+	name      string
+	ip        Addr
+	uplink    *Port
+	listeners map[int]*Listener
+	conns     map[fourTuple]*Conn
+	ephemeral int
+	// ProcDelay is the per-packet processing overhead of this host's stack
+	// (e.g. Raspberry Pi clients are slower than the EGS).
+	ProcDelay time.Duration
+}
+
+// NewHost creates a host with the given name and IP and registers it.
+func NewHost(n *Network, name string, ip Addr) *Host {
+	h := &Host{
+		net:       n,
+		name:      name,
+		ip:        ip,
+		listeners: make(map[int]*Listener),
+		conns:     make(map[fourTuple]*Conn),
+		ephemeral: 32768,
+	}
+	n.Register(h)
+	return h
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// IP returns the host's address.
+func (h *Host) IP() Addr { return h.ip }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// SetUplink attaches the host's single network port. Use after
+// Network.Connect: the port returned for this host becomes its uplink.
+func (h *Host) SetUplink(p *Port) { h.uplink = p }
+
+// AttachTo connects the host to node sw (typically a switch) over a link
+// with the given config and wires the uplink.
+func (h *Host) AttachTo(sw Node, cfg LinkConfig) (hostPort, swPort *Port) {
+	hp, sp := h.net.Connect(h, sw, cfg)
+	h.SetUplink(hp)
+	return hp, sp
+}
+
+// Listener accepts inbound connections on one port.
+type Listener struct {
+	host   *Host
+	port   int
+	accept func(c *Conn)
+	closed bool
+}
+
+// Listen opens a listener; accept is invoked (in a fresh sim process) for
+// every established inbound connection. Listening twice on a port panics.
+func (h *Host) Listen(port int, accept func(p *sim.Proc, c *Conn)) *Listener {
+	if _, dup := h.listeners[port]; dup {
+		panic(fmt.Sprintf("simnet: %s: duplicate listener on port %d", h.name, port))
+	}
+	l := &Listener{host: h, port: port}
+	l.accept = func(c *Conn) {
+		h.net.K.Go(fmt.Sprintf("%s:accept:%d", h.name, port), func(p *sim.Proc) {
+			accept(p, c)
+		})
+	}
+	h.listeners[port] = l
+	return l
+}
+
+// PortOpen reports whether a listener is active on port (local check; remote
+// callers must probe with Dial, as the SDN controller does).
+func (h *Host) PortOpen(port int) bool {
+	l, ok := h.listeners[port]
+	return ok && !l.closed
+}
+
+// Close removes the listener; established connections survive.
+func (l *Listener) Close() {
+	l.closed = true
+	delete(l.host.listeners, l.port)
+}
+
+// Conn is an established TCP-ish connection endpoint.
+type Conn struct {
+	host    *Host
+	local   addrPort
+	remote  addrPort
+	rx      *sim.Chan[*Packet]
+	estab   *sim.Promise[bool]
+	closed  bool
+	refused bool
+	// TCP-like in-order delivery of DATA segments: the sender numbers
+	// them, the receiver buffers out-of-order arrivals.
+	sendSeq  uint64
+	recvNext uint64
+	oooBuf   map[uint64]*Packet
+	// finSeq, when non-zero, is the sequence number just past the last
+	// DATA segment; the connection closes once everything before it has
+	// been delivered.
+	finSeq uint64
+}
+
+// LocalAddr returns the local IP:port (as seen by this endpoint).
+func (c *Conn) LocalAddr() string { return c.local.String() }
+
+// RemoteAddr returns the remote IP:port (as seen by this endpoint; for a
+// client behind the transparent edge this is the *cloud* service address
+// even when an edge instance answers).
+func (c *Conn) RemoteAddr() string { return c.remote.String() }
+
+func (h *Host) sendOut(pkt *Packet) {
+	if h.uplink == nil {
+		panic(fmt.Sprintf("simnet: host %s has no uplink", h.name))
+	}
+	pkt.ID = h.net.NextPacketID()
+	if h.ProcDelay > 0 {
+		h.net.K.After(h.ProcDelay, func() { h.uplink.Send(pkt) })
+		return
+	}
+	h.uplink.Send(pkt)
+}
+
+// Dial opens a connection from this host to dst:port, blocking the process
+// until established, refused, or timed out. A zero timeout means wait
+// forever (the "request kept waiting" mode of the paper: the held SYN is
+// eventually released by the controller's packet-out).
+func (h *Host) Dial(p *sim.Proc, dst Addr, port int, timeout time.Duration) (*Conn, error) {
+	lp := h.ephemeral
+	h.ephemeral++
+	c := &Conn{
+		host:   h,
+		local:  addrPort{h.ip, lp},
+		remote: addrPort{dst, port},
+		rx:     sim.NewChan[*Packet](h.net.K),
+		estab:  sim.NewPromise[bool](h.net.K),
+	}
+	h.conns[fourTuple{c.local, c.remote}] = c
+	syn := &Packet{
+		Kind: KindSYN, SrcIP: h.ip, DstIP: dst,
+		SrcPort: lp, DstPort: port, Size: minWireSize,
+	}
+	h.sendOut(syn)
+	var timer *sim.Event
+	if timeout > 0 {
+		timer = h.net.K.After(timeout, func() {
+			if !c.estab.Done() {
+				c.estab.Fail(ErrTimeout)
+			}
+		})
+	}
+	ok, err := c.estab.Await(p)
+	if timer != nil {
+		timer.Cancel()
+	}
+	if err != nil {
+		delete(h.conns, fourTuple{c.local, c.remote})
+		return nil, err
+	}
+	if !ok {
+		delete(h.conns, fourTuple{c.local, c.remote})
+		return nil, ErrConnRefused
+	}
+	return c, nil
+}
+
+// HandlePacket implements Node: demultiplex to connections and listeners.
+func (h *Host) HandlePacket(in *Port, pkt *Packet) {
+	key := fourTuple{
+		local:  addrPort{pkt.DstIP, pkt.DstPort},
+		remote: addrPort{pkt.SrcIP, pkt.SrcPort},
+	}
+	switch pkt.Kind {
+	case KindSYN:
+		if c, ok := h.conns[key]; ok && !c.closed {
+			// Duplicate SYN (e.g. retry); re-acknowledge idempotently.
+			h.replySYNACK(c)
+			return
+		}
+		l, ok := h.listeners[pkt.DstPort]
+		if !ok || l.closed {
+			rst := &Packet{
+				Kind: KindRST, SrcIP: pkt.DstIP, DstIP: pkt.SrcIP,
+				SrcPort: pkt.DstPort, DstPort: pkt.SrcPort, Size: minWireSize,
+			}
+			h.sendOut(rst)
+			return
+		}
+		c := &Conn{
+			host:   h,
+			local:  key.local,
+			remote: key.remote,
+			rx:     sim.NewChan[*Packet](h.net.K),
+			estab:  sim.NewPromise[bool](h.net.K),
+		}
+		c.estab.Resolve(true)
+		h.conns[key] = c
+		h.replySYNACK(c)
+		l.accept(c)
+	case KindSYNACK:
+		if c, ok := h.conns[key]; ok && !c.estab.Done() {
+			c.estab.Resolve(true)
+		}
+	case KindRST:
+		if c, ok := h.conns[key]; ok {
+			c.refused = true
+			if !c.estab.Done() {
+				c.estab.Resolve(false)
+			} else {
+				c.closed = true
+				c.rx.Close()
+			}
+			delete(h.conns, key)
+		}
+	case KindDATA:
+		if c, ok := h.conns[key]; ok && !c.closed {
+			c.deliverInOrder(pkt)
+		}
+	case KindFIN:
+		if c, ok := h.conns[key]; ok {
+			// Close only after all DATA before the FIN has been
+			// delivered (the FIN carries the next sequence number).
+			c.finSeq = pkt.Seq
+			c.maybeFinish()
+		}
+	}
+}
+
+func (h *Host) replySYNACK(c *Conn) {
+	h.sendOut(&Packet{
+		Kind: KindSYNACK, SrcIP: c.local.ip, DstIP: c.remote.ip,
+		SrcPort: c.local.port, DstPort: c.remote.port, Size: minWireSize,
+	})
+}
+
+// Send transmits an application message of the given size on the connection.
+// It does not block: delivery latency is modelled on the links. Messages on
+// one connection are delivered in send order, as TCP guarantees.
+func (c *Conn) Send(size Bytes, payload any) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	c.sendSeq++
+	c.host.sendOut(&Packet{
+		Kind: KindDATA, SrcIP: c.local.ip, DstIP: c.remote.ip,
+		SrcPort: c.local.port, DstPort: c.remote.port,
+		Size: size, Payload: payload, Seq: c.sendSeq,
+	})
+	return nil
+}
+
+// deliverInOrder enqueues pkt respecting sequence order, buffering
+// out-of-order arrivals.
+func (c *Conn) deliverInOrder(pkt *Packet) {
+	if pkt.Seq == 0 {
+		// Unsequenced segment (raw Port.Send without a Conn): pass through.
+		c.rx.Send(pkt)
+		return
+	}
+	if c.oooBuf == nil {
+		c.oooBuf = make(map[uint64]*Packet)
+	}
+	c.oooBuf[pkt.Seq] = pkt
+	for {
+		next, ok := c.oooBuf[c.recvNext+1]
+		if !ok {
+			break
+		}
+		delete(c.oooBuf, c.recvNext+1)
+		c.recvNext++
+		c.rx.Send(next)
+	}
+	c.maybeFinish()
+}
+
+// maybeFinish closes the connection once the peer's FIN is reached.
+func (c *Conn) maybeFinish() {
+	if c.closed || c.finSeq == 0 {
+		return
+	}
+	if c.recvNext+1 >= c.finSeq {
+		c.closed = true
+		c.rx.Close()
+		delete(c.host.conns, fourTuple{c.local, c.remote})
+	}
+}
+
+// Recv blocks until a message arrives (or the connection closes / the
+// timeout elapses; zero timeout waits forever).
+func (c *Conn) Recv(p *sim.Proc, timeout time.Duration) (any, error) {
+	if timeout <= 0 {
+		pkt, ok := c.rx.Recv(p)
+		if !ok {
+			return nil, ErrConnClosed
+		}
+		return pkt.Payload, nil
+	}
+	done := sim.NewPromise[*Packet](c.host.net.K)
+	c.host.net.K.Go("recv-timeout-shim", func(sp *sim.Proc) {
+		pkt, ok := c.rx.Recv(sp)
+		if done.Done() {
+			if ok {
+				c.rx.Send(pkt) // do not lose the message raced with timeout
+			}
+			return
+		}
+		if !ok {
+			done.Fail(ErrConnClosed)
+			return
+		}
+		done.Resolve(pkt)
+	})
+	timer := c.host.net.K.After(timeout, func() {
+		if !done.Done() {
+			done.Fail(ErrTimeout)
+		}
+	})
+	pkt, err := done.Await(p)
+	timer.Cancel()
+	if err != nil {
+		return nil, err
+	}
+	return pkt.Payload, nil
+}
+
+// Close tears the connection down on both ends (FIN).
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.rx.Close()
+	delete(c.host.conns, fourTuple{c.local, c.remote})
+	c.host.sendOut(&Packet{
+		Kind: KindFIN, SrcIP: c.local.ip, DstIP: c.remote.ip,
+		SrcPort: c.local.port, DstPort: c.remote.port, Size: minWireSize,
+		Seq: c.sendSeq + 1,
+	})
+}
+
+// Router is a static L3 node: packets are forwarded on the port registered
+// for the destination address, or the default port. It stands in for the
+// plain (non-OpenFlow) parts of the topology, e.g. the path toward the
+// cloud.
+type Router struct {
+	name     string
+	routes   map[Addr]*Port
+	fallback *Port
+	// FwdDelay is per-packet forwarding latency (switching fabric).
+	FwdDelay time.Duration
+	net      *Network
+}
+
+// NewRouter creates a router node.
+func NewRouter(n *Network, name string) *Router {
+	r := &Router{name: name, routes: make(map[Addr]*Port), net: n}
+	n.Register(r)
+	return r
+}
+
+// Name implements Node.
+func (r *Router) Name() string { return r.name }
+
+// AddRoute forwards packets destined to ip out of port p.
+func (r *Router) AddRoute(ip Addr, p *Port) { r.routes[ip] = p }
+
+// SetDefault sets the default (gateway) port.
+func (r *Router) SetDefault(p *Port) { r.fallback = p }
+
+// Lookup returns the port a destination routes to (nil if none).
+func (r *Router) Lookup(ip Addr) *Port {
+	if p, ok := r.routes[ip]; ok {
+		return p
+	}
+	return r.fallback
+}
+
+// HandlePacket implements Node.
+func (r *Router) HandlePacket(in *Port, pkt *Packet) {
+	out := r.Lookup(pkt.DstIP)
+	if out == nil || out == in {
+		return // drop: no route
+	}
+	if r.FwdDelay > 0 {
+		r.net.K.After(r.FwdDelay, func() { out.Send(pkt) })
+		return
+	}
+	out.Send(pkt)
+}

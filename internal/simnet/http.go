@@ -1,0 +1,100 @@
+package simnet
+
+import (
+	"time"
+
+	"transparentedge/internal/sim"
+)
+
+// HTTPRequest is a minimal HTTP-like request message.
+type HTTPRequest struct {
+	Method string
+	Path   string
+	Size   Bytes // on-wire request size (headers + body)
+	Body   any
+}
+
+// HTTPResponse is a minimal HTTP-like response message.
+type HTTPResponse struct {
+	Status int
+	Size   Bytes // on-wire response size
+	Body   any
+}
+
+// HTTPHandler computes a response for a request. It runs inside a sim
+// process, so it may Sleep to model service processing time.
+type HTTPHandler func(p *sim.Proc, req *HTTPRequest) *HTTPResponse
+
+// ServeHTTP installs a request/response server on port. Each connection is
+// handled in its own sim process and serves any number of sequential
+// requests (keep-alive).
+func (h *Host) ServeHTTP(port int, handler HTTPHandler) *Listener {
+	return h.Listen(port, func(p *sim.Proc, c *Conn) {
+		for {
+			payload, err := c.Recv(p, 0)
+			if err != nil {
+				return
+			}
+			req, ok := payload.(*HTTPRequest)
+			if !ok {
+				continue
+			}
+			resp := handler(p, req)
+			if resp == nil {
+				resp = &HTTPResponse{Status: 500, Size: minWireSize}
+			}
+			if resp.Size < minWireSize {
+				resp.Size = minWireSize
+			}
+			if err := c.Send(resp.Size, resp); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// HTTPResult is one client-side measurement, mirroring the timecurl.sh
+// fields: connect time (TCP handshake) and total time (handshake through
+// last response byte).
+type HTTPResult struct {
+	Resp    *HTTPResponse
+	Connect time.Duration
+	Total   time.Duration
+}
+
+// HTTPGet performs a full measured request from this host: dial, send,
+// receive, close. timeout of zero waits forever (on-demand deployment
+// "with waiting"). This is the moral equivalent of the paper's timecurl.sh:
+// Total spans from starting the TCP connection until the response arrives.
+func (h *Host) HTTPGet(p *sim.Proc, dst Addr, port int, req *HTTPRequest, timeout time.Duration) (*HTTPResult, error) {
+	start := h.net.K.Now()
+	c, err := h.Dial(p, dst, port, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	connect := h.net.K.Now() - start
+	if req.Size < minWireSize {
+		req.Size = minWireSize
+	}
+	if err := c.Send(req.Size, req); err != nil {
+		return nil, err
+	}
+	remain := time.Duration(0)
+	if timeout > 0 {
+		remain = timeout - (h.net.K.Now() - start)
+		if remain <= 0 {
+			return nil, ErrTimeout
+		}
+	}
+	payload, err := c.Recv(p, remain)
+	if err != nil {
+		return nil, err
+	}
+	resp, _ := payload.(*HTTPResponse)
+	return &HTTPResult{
+		Resp:    resp,
+		Connect: connect,
+		Total:   h.net.K.Now() - start,
+	}, nil
+}

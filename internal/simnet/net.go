@@ -1,0 +1,308 @@
+// Package simnet emulates the paper's testbed network (fig. 8) on the sim
+// virtual clock: nodes connected by full-duplex links with propagation
+// latency and fair-shared bandwidth, message-level packets with TCP-like
+// connection semantics (SYN / SYN-ACK / RST / DATA), and port listeners.
+//
+// The model is message-level, not MTU-packet-level: one application message
+// is one Packet whose serialization time on each link is size/rate, with the
+// rate fair-shared among concurrent transfers in the same link direction.
+// This captures propagation, serialization, and contention — the quantities
+// the paper's timings are composed of — while keeping multi-hundred-MiB
+// image pulls cheap to simulate. TCP slow start and retransmission are not
+// modelled; connection setup costs one RTT (SYN / SYN-ACK), which matches
+// the curl time_total measurement methodology of the paper.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"transparentedge/internal/sim"
+)
+
+// Addr is a network address (IPv4 dotted quad by convention).
+type Addr string
+
+// Bytes is a payload size in bytes.
+type Bytes int64
+
+// Common sizes.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+)
+
+// BitsPerSec is a link rate. Zero means infinite bandwidth (latency only).
+type BitsPerSec int64
+
+// Common rates.
+const (
+	Mbps BitsPerSec = 1_000_000
+	Gbps BitsPerSec = 1_000_000_000
+)
+
+// PacketKind distinguishes the TCP-ish segment types the simulation needs.
+type PacketKind uint8
+
+// Packet kinds.
+const (
+	KindSYN PacketKind = iota + 1
+	KindSYNACK
+	KindRST
+	KindDATA
+	KindFIN
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindSYN:
+		return "SYN"
+	case KindSYNACK:
+		return "SYN-ACK"
+	case KindRST:
+		return "RST"
+	case KindDATA:
+		return "DATA"
+	case KindFIN:
+		return "FIN"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Packet is a message-level network packet. Header fields are mutable so an
+// OpenFlow-style switch can rewrite them in flight.
+type Packet struct {
+	Kind    PacketKind
+	SrcIP   Addr
+	DstIP   Addr
+	SrcPort int
+	DstPort int
+	Size    Bytes // total size on the wire
+	Payload any   // application payload, opaque to the network
+	ID      uint64
+	// Seq orders DATA segments within a connection (TCP never delivers
+	// out of order, but fair-shared links can complete a small later
+	// transfer before a large earlier one; the receiver re-sequences).
+	Seq uint64
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %s:%d->%s:%d (%dB)", p.Kind, p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Size)
+}
+
+// Clone returns a shallow copy (payload shared) so header rewrites do not
+// affect other holders of the packet.
+func (p *Packet) Clone() *Packet {
+	cp := *p
+	return &cp
+}
+
+// minWireSize is the modelled on-wire size of control segments (SYN etc.).
+const minWireSize Bytes = 64
+
+// Node is anything attachable to the network that can receive packets.
+type Node interface {
+	// Name returns a diagnostic name.
+	Name() string
+	// HandlePacket processes a packet arriving on port in. It runs in
+	// kernel (event) context and must not block.
+	HandlePacket(in *Port, pkt *Packet)
+}
+
+// Network owns the kernel, nodes, and links of one emulated topology.
+type Network struct {
+	K        *sim.Kernel
+	links    []*Link
+	nextPkt  uint64
+	nodes    []Node
+	PktTrace func(where string, pkt *Packet) // optional debug hook
+}
+
+// NewNetwork returns an empty network bound to kernel k.
+func NewNetwork(k *sim.Kernel) *Network { return &Network{K: k} }
+
+// Register records a node for diagnostics (attachment happens via Connect).
+func (n *Network) Register(node Node) { n.nodes = append(n.nodes, node) }
+
+// NextPacketID returns a fresh unique packet ID.
+func (n *Network) NextPacketID() uint64 {
+	n.nextPkt++
+	return n.nextPkt
+}
+
+// LinkConfig describes a full-duplex link.
+type LinkConfig struct {
+	Name      string
+	Latency   time.Duration // one-way propagation delay
+	Bandwidth BitsPerSec    // per-direction capacity; 0 = infinite
+	// Loss is the probability in [0,1) that a packet is dropped on this
+	// link (drawn from the kernel's deterministic RNG).
+	Loss float64
+}
+
+// Port is one end of a link, attached to a node.
+type Port struct {
+	node  Node
+	link  *Link
+	dir   *direction // transmit direction for this port
+	peer  *Port
+	Label string
+}
+
+// Node returns the node the port is attached to.
+func (p *Port) Node() Node { return p.node }
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Link returns the link the port belongs to.
+func (p *Port) Link() *Link { return p.link }
+
+// Send transmits pkt out of this port toward the peer node. Delivery happens
+// after serialization (fair-shared bandwidth) plus propagation latency.
+func (p *Port) Send(pkt *Packet) {
+	if pkt.Size < minWireSize {
+		pkt.Size = minWireSize
+	}
+	p.dir.transmit(pkt, func(delivered *Packet) {
+		peer := p.peer
+		if peer == nil {
+			return
+		}
+		if p.link.net.PktTrace != nil {
+			p.link.net.PktTrace(peer.node.Name(), delivered)
+		}
+		peer.node.HandlePacket(peer, delivered)
+	})
+}
+
+// Link is a full-duplex point-to-point link with independent per-direction
+// fair-shared capacity.
+type Link struct {
+	net  *Network
+	cfg  LinkConfig
+	a, b *Port
+	ab   direction
+	ba   direction
+	down bool
+	// Dropped counts packets lost to failures or configured loss.
+	Dropped uint64
+}
+
+// SetDown takes the link down (packets are silently dropped) or brings it
+// back up — the simulation's cable pull for failure injection.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is down.
+func (l *Link) Down() bool { return l.down }
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Connect creates a link between nodes a and b and returns the two ports
+// (the first attached to a, the second to b).
+func (n *Network) Connect(a, b Node, cfg LinkConfig) (*Port, *Port) {
+	l := &Link{net: n, cfg: cfg}
+	l.ab = direction{link: l}
+	l.ba = direction{link: l}
+	pa := &Port{node: a, link: l, dir: &l.ab}
+	pb := &Port{node: b, link: l, dir: &l.ba}
+	pa.peer, pb.peer = pb, pa
+	l.a, l.b = pa, pb
+	n.links = append(n.links, l)
+	return pa, pb
+}
+
+// transfer is one in-flight serialization on a link direction.
+type transfer struct {
+	remaining float64 // bytes left to serialize
+	rate      float64 // current bytes/sec share
+	updated   sim.Time
+	finish    *sim.Event
+	pkt       *Packet
+	deliver   func(*Packet)
+}
+
+// direction models fair-share (equal split) bandwidth for one direction of a
+// link: each active transfer gets capacity/n. On every membership change the
+// remaining bytes are settled at the old rate and completions rescheduled.
+type direction struct {
+	link   *Link
+	active map[*transfer]struct{}
+}
+
+func (d *direction) capacityBps() float64 {
+	return float64(d.link.cfg.Bandwidth) / 8.0 // bytes per second
+}
+
+func (d *direction) transmit(pkt *Packet, deliver func(*Packet)) {
+	k := d.link.net.K
+	if d.link.down || (d.link.cfg.Loss > 0 && k.Rand().Float64() < d.link.cfg.Loss) {
+		d.link.Dropped++
+		return
+	}
+	lat := d.link.cfg.Latency
+	if d.link.cfg.Bandwidth <= 0 {
+		// Infinite bandwidth: propagation only.
+		k.After(lat, func() { deliver(pkt) })
+		return
+	}
+	t := &transfer{
+		remaining: float64(pkt.Size),
+		updated:   k.Now(),
+		pkt:       pkt,
+		deliver:   deliver,
+	}
+	if d.active == nil {
+		d.active = make(map[*transfer]struct{})
+	}
+	d.active[t] = struct{}{}
+	d.rebalance()
+}
+
+// settle updates remaining bytes of every active transfer to now.
+func (d *direction) settle() {
+	now := d.link.net.K.Now()
+	for t := range d.active {
+		elapsed := (now - t.updated).Seconds()
+		t.remaining -= t.rate * elapsed
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+		t.updated = now
+	}
+}
+
+// rebalance recomputes equal shares and reschedules completion events.
+func (d *direction) rebalance() {
+	d.settle()
+	n := len(d.active)
+	if n == 0 {
+		return
+	}
+	k := d.link.net.K
+	share := d.capacityBps() / float64(n)
+	for t := range d.active {
+		t.rate = share
+		if t.finish != nil {
+			t.finish.Cancel()
+		}
+		tt := t
+		dur := time.Duration(tt.remaining / share * float64(time.Second))
+		t.finish = k.After(dur, func() { d.complete(tt) })
+	}
+}
+
+func (d *direction) complete(t *transfer) {
+	delete(d.active, t)
+	d.rebalance()
+	lat := d.link.cfg.Latency
+	d.link.net.K.After(lat, func() { t.deliver(t.pkt) })
+}
+
+// ActiveTransfers returns the number of in-flight transfers a->b and b->a
+// (diagnostic).
+func (l *Link) ActiveTransfers() (ab, ba int) {
+	return len(l.ab.active), len(l.ba.active)
+}

@@ -1,0 +1,436 @@
+// Package spec implements the paper's edge service definition files (§V):
+// every edge service is described by a Kubernetes Deployment YAML (the only
+// mandatory field is the container image), and the system automatically
+// annotates it before deployment — unique worldwide name, matchLabels, the
+// edge.service label, replicas=0 ("scale to zero"), an optional
+// schedulerName for a configured Local Scheduler — and generates the
+// Kubernetes Service definition if the developer did not include one.
+//
+// The same (annotated) definition drives both cluster types: Kubernetes
+// consumes the full Deployment/Service documents, Docker parses the subset
+// it needs (containers, ports, env, volume mounts).
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"transparentedge/internal/simnet"
+	"transparentedge/internal/yaml"
+)
+
+// EdgeServiceLabel is the label added to every edge deployment so edge
+// services can be addressed and queried distinctly in a cluster.
+const EdgeServiceLabel = "edge.service"
+
+// Errors returned when parsing or annotating definitions.
+var (
+	ErrNoDeployment = errors.New("spec: no Deployment document found")
+	ErrNoContainers = errors.New("spec: deployment has no containers")
+	ErrNoImage      = errors.New("spec: container without image")
+)
+
+// Registration identifies a registered edge service by the unique
+// combination the paper uses: domain name / IP address and port.
+type Registration struct {
+	Domain string      // e.g. "api.example.com"
+	VIP    simnet.Addr // the public (cloud) IP clients address
+	Port   int         // the public service port
+}
+
+// UniqueName derives the worldwide-unique service name the annotator
+// assigns (paper §V: "we automatically set a unique worldwide name").
+func (r Registration) UniqueName() string {
+	d := strings.ToLower(r.Domain)
+	if d == "" {
+		d = strings.ReplaceAll(string(r.VIP), ".", "-")
+	}
+	d = strings.NewReplacer(".", "-", "/", "-", ":", "-").Replace(d)
+	return fmt.Sprintf("edge-%s-%d", d, r.Port)
+}
+
+// ContainerSpec is the per-container subset both cluster types consume.
+type ContainerSpec struct {
+	Name          string
+	Image         string
+	ContainerPort int // 0 when the container exposes no port
+	Env           map[string]string
+	Mounts        []Mount
+	// CPUMillis / MemoryBytes are the container's resource requests
+	// (resources.requests in the definition); zero means unspecified.
+	CPUMillis   int64
+	MemoryBytes int64
+}
+
+// Mount is a volume mount (name -> path in container); HostPath is filled
+// from the pod-level volume when it is a hostPath volume.
+type Mount struct {
+	Name          string
+	ContainerPath string
+	HostPath      string
+}
+
+// Definition is a parsed service definition file.
+type Definition struct {
+	Deployment map[string]any
+	Service    map[string]any // nil unless the developer supplied one
+}
+
+// Parse reads a service definition YAML (one Deployment document, plus an
+// optional Service document).
+func Parse(src string) (*Definition, error) {
+	docs, err := yaml.DecodeAll(src)
+	if err != nil {
+		return nil, err
+	}
+	def := &Definition{}
+	for _, d := range docs {
+		m, ok := d.(map[string]any)
+		if !ok {
+			continue
+		}
+		switch m["kind"] {
+		case "Service":
+			def.Service = m
+		case "Deployment", nil:
+			// kind may be omitted in lean definitions; the paper's files
+			// only require the image name.
+			if def.Deployment == nil {
+				def.Deployment = m
+			}
+		default:
+			if def.Deployment == nil && m["kind"] == nil {
+				def.Deployment = m
+			}
+		}
+	}
+	if def.Deployment == nil {
+		return nil, ErrNoDeployment
+	}
+	return def, nil
+}
+
+// Annotated is the deployment-ready service: fully annotated documents and
+// the parsed container list.
+type Annotated struct {
+	Reg        Registration
+	UniqueName string
+	Deployment map[string]any
+	Service    map[string]any
+	Containers []ContainerSpec
+	// TargetPort is the container port the generated/declared Service
+	// forwards to (the port the controller probes for readiness).
+	TargetPort int
+	// RuntimeClass is the pod spec's runtimeClassName ("" = regular
+	// containers, "wasm" = a serverless/WebAssembly runtime): the
+	// placement signal for side-by-side container/serverless operation
+	// (paper §VIII).
+	RuntimeClass string
+}
+
+// Options configures annotation.
+type Options struct {
+	// SchedulerName, when non-empty, is set on the pod template so a
+	// custom Local Scheduler handles these pods (paper §IV-B/§V).
+	SchedulerName string
+}
+
+// Annotate applies the automatic annotations of §V to def for the given
+// registration and returns the deployment-ready service.
+func Annotate(def *Definition, reg Registration, opts Options) (*Annotated, error) {
+	name := reg.UniqueName()
+	dep := deepCopy(def.Deployment).(map[string]any)
+
+	ensureMap(dep, "metadata")["name"] = name
+	labels := ensureMap(ensureMap(dep, "metadata"), "labels")
+	labels["app"] = name
+	labels[EdgeServiceLabel] = name
+
+	spec := ensureMap(dep, "spec")
+	// "Scale to zero" by default: the controller scales up on demand.
+	spec["replicas"] = int64(0)
+	selector := ensureMap(spec, "selector")
+	match := ensureMap(selector, "matchLabels")
+	match["app"] = name
+	match[EdgeServiceLabel] = name
+
+	tmpl := ensureMap(spec, "template")
+	tmplLabels := ensureMap(ensureMap(tmpl, "metadata"), "labels")
+	tmplLabels["app"] = name
+	tmplLabels[EdgeServiceLabel] = name
+	podSpec := ensureMap(tmpl, "spec")
+	if opts.SchedulerName != "" {
+		podSpec["schedulerName"] = opts.SchedulerName
+	}
+
+	containers, err := parseContainers(podSpec)
+	if err != nil {
+		return nil, err
+	}
+	runtimeClass, _ := podSpec["runtimeClassName"].(string)
+
+	targetPort := 0
+	for _, c := range containers {
+		if c.ContainerPort > 0 {
+			targetPort = c.ContainerPort
+			break
+		}
+	}
+	if targetPort == 0 {
+		targetPort = reg.Port
+	}
+
+	svc := def.Service
+	if svc == nil {
+		svc = map[string]any{
+			"apiVersion": "v1",
+			"kind":       "Service",
+			"metadata": map[string]any{
+				"name":   name,
+				"labels": map[string]any{EdgeServiceLabel: name},
+			},
+			"spec": map[string]any{
+				"selector": map[string]any{"app": name},
+				"ports": []any{map[string]any{
+					"protocol":   "TCP",
+					"port":       int64(reg.Port),
+					"targetPort": int64(targetPort),
+				}},
+			},
+		}
+	} else {
+		svc = deepCopy(svc).(map[string]any)
+		ensureMap(svc, "metadata")["name"] = name
+		ensureMap(ensureMap(svc, "metadata"), "labels")[EdgeServiceLabel] = name
+		ensureMap(ensureMap(svc, "spec"), "selector")["app"] = name
+		if tp := declaredTargetPort(svc); tp > 0 {
+			targetPort = tp
+		}
+	}
+
+	return &Annotated{
+		Reg:          reg,
+		UniqueName:   name,
+		Deployment:   dep,
+		Service:      svc,
+		Containers:   containers,
+		TargetPort:   targetPort,
+		RuntimeClass: runtimeClass,
+	}, nil
+}
+
+func declaredTargetPort(svc map[string]any) int {
+	spec, _ := svc["spec"].(map[string]any)
+	ports, _ := spec["ports"].([]any)
+	for _, pv := range ports {
+		pm, ok := pv.(map[string]any)
+		if !ok {
+			continue
+		}
+		if tp, ok := pm["targetPort"].(int64); ok {
+			return int(tp)
+		}
+		if pp, ok := pm["port"].(int64); ok {
+			return int(pp)
+		}
+	}
+	return 0
+}
+
+func parseContainers(podSpec map[string]any) ([]ContainerSpec, error) {
+	raw, _ := podSpec["containers"].([]any)
+	if len(raw) == 0 {
+		return nil, ErrNoContainers
+	}
+	// Pod-level volumes: name -> host path (hostPath volumes only; other
+	// volume types have no host directory to share).
+	hostPaths := map[string]string{}
+	if vols, ok := podSpec["volumes"].([]any); ok {
+		for _, vv := range vols {
+			vm, ok := vv.(map[string]any)
+			if !ok {
+				continue
+			}
+			vname, _ := vm["name"].(string)
+			if hp, ok := vm["hostPath"].(map[string]any); ok {
+				if path, ok := hp["path"].(string); ok {
+					hostPaths[vname] = path
+				}
+			}
+		}
+	}
+	var out []ContainerSpec
+	for i, cv := range raw {
+		cm, ok := cv.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("spec: container %d is not a mapping", i)
+		}
+		image, _ := cm["image"].(string)
+		if image == "" {
+			return nil, fmt.Errorf("%w (container %d)", ErrNoImage, i)
+		}
+		cs := ContainerSpec{Image: image}
+		if n, ok := cm["name"].(string); ok && n != "" {
+			cs.Name = n
+		} else {
+			cs.Name = fmt.Sprintf("c%d", i)
+		}
+		if ports, ok := cm["ports"].([]any); ok && len(ports) > 0 {
+			if pm, ok := ports[0].(map[string]any); ok {
+				if cp, ok := pm["containerPort"].(int64); ok {
+					cs.ContainerPort = int(cp)
+				}
+			}
+		}
+		if envs, ok := cm["env"].([]any); ok {
+			cs.Env = map[string]string{}
+			for _, ev := range envs {
+				em, ok := ev.(map[string]any)
+				if !ok {
+					continue
+				}
+				name, _ := em["name"].(string)
+				val := fmt.Sprint(em["value"])
+				if name != "" {
+					cs.Env[name] = val
+				}
+			}
+		}
+		if res, ok := cm["resources"].(map[string]any); ok {
+			if reqs, ok := res["requests"].(map[string]any); ok {
+				if cpu, err := ParseCPU(reqs["cpu"]); err != nil {
+					return nil, fmt.Errorf("spec: container %d: %v", i, err)
+				} else {
+					cs.CPUMillis = cpu
+				}
+				if mem, err := ParseMemory(reqs["memory"]); err != nil {
+					return nil, fmt.Errorf("spec: container %d: %v", i, err)
+				} else {
+					cs.MemoryBytes = mem
+				}
+			}
+		}
+		if mounts, ok := cm["volumeMounts"].([]any); ok {
+			for _, mv := range mounts {
+				mm, ok := mv.(map[string]any)
+				if !ok {
+					continue
+				}
+				m := Mount{}
+				m.Name, _ = mm["name"].(string)
+				m.ContainerPath, _ = mm["mountPath"].(string)
+				m.HostPath = hostPaths[m.Name]
+				cs.Mounts = append(cs.Mounts, m)
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// EncodeYAML renders the annotated deployment and service as a two-document
+// YAML stream (what would be applied to a real cluster).
+func (a *Annotated) EncodeYAML() string {
+	return yaml.EncodeAll([]any{a.Deployment, a.Service})
+}
+
+// ParseCPU parses a Kubernetes CPU quantity ("500m", "2", 0.5) into
+// millicores. nil yields 0.
+func ParseCPU(v any) (int64, error) {
+	switch t := v.(type) {
+	case nil:
+		return 0, nil
+	case int64:
+		return t * 1000, nil
+	case float64:
+		return int64(t * 1000), nil
+	case string:
+		s := strings.TrimSpace(t)
+		if s == "" {
+			return 0, nil
+		}
+		if strings.HasSuffix(s, "m") {
+			n, err := strconv.ParseInt(strings.TrimSuffix(s, "m"), 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("invalid cpu quantity %q", t)
+			}
+			return n, nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("invalid cpu quantity %q", t)
+		}
+		return int64(f * 1000), nil
+	}
+	return 0, fmt.Errorf("invalid cpu quantity %v", v)
+}
+
+// ParseMemory parses a Kubernetes memory quantity ("128Mi", "1Gi", "64M",
+// plain bytes) into bytes. nil yields 0.
+func ParseMemory(v any) (int64, error) {
+	switch t := v.(type) {
+	case nil:
+		return 0, nil
+	case int64:
+		return t, nil
+	case float64:
+		return int64(t), nil
+	case string:
+		s := strings.TrimSpace(t)
+		if s == "" {
+			return 0, nil
+		}
+		units := []struct {
+			suffix string
+			mult   int64
+		}{
+			{"Gi", 1 << 30}, {"Mi", 1 << 20}, {"Ki", 1 << 10},
+			{"G", 1_000_000_000}, {"M", 1_000_000}, {"K", 1_000},
+		}
+		for _, u := range units {
+			if strings.HasSuffix(s, u.suffix) {
+				n, err := strconv.ParseInt(strings.TrimSuffix(s, u.suffix), 10, 64)
+				if err != nil {
+					return 0, fmt.Errorf("invalid memory quantity %q", t)
+				}
+				return n * u.mult, nil
+			}
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("invalid memory quantity %q", t)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("invalid memory quantity %v", v)
+}
+
+func ensureMap(m map[string]any, key string) map[string]any {
+	if v, ok := m[key].(map[string]any); ok {
+		return v
+	}
+	v := map[string]any{}
+	m[key] = v
+	return v
+}
+
+func deepCopy(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, vv := range t {
+			out[k] = deepCopy(vv)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, vv := range t {
+			out[i] = deepCopy(vv)
+		}
+		return out
+	default:
+		return v
+	}
+}

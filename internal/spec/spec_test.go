@@ -1,0 +1,369 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"transparentedge/internal/yaml"
+)
+
+const nginxYAML = `
+apiVersion: apps/v1
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+      - name: nginx
+        image: nginx:1.23.2
+        ports:
+        - containerPort: 80
+`
+
+const leanYAML = `
+spec:
+  template:
+    spec:
+      containers:
+      - image: josefhammer/web-asm:amd64
+`
+
+const multiYAML = `
+apiVersion: apps/v1
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+      - name: nginx
+        image: nginx:1.23.2
+        ports:
+        - containerPort: 80
+        volumeMounts:
+        - name: shared
+          mountPath: /usr/share/nginx/html
+      - name: writer
+        image: josefhammer/env-writer-py
+        env:
+        - name: INTERVAL
+          value: 1
+        volumeMounts:
+        - name: shared
+          mountPath: /data
+      volumes:
+      - name: shared
+        hostPath:
+          path: /srv/shared
+---
+apiVersion: v1
+kind: Service
+spec:
+  ports:
+  - port: 80
+    targetPort: 8080
+`
+
+var reg = Registration{Domain: "web.example.com", VIP: "203.0.113.10", Port: 80}
+
+func TestUniqueName(t *testing.T) {
+	if got := reg.UniqueName(); got != "edge-web-example-com-80" {
+		t.Fatalf("UniqueName = %q", got)
+	}
+	ipOnly := Registration{VIP: "203.0.113.10", Port: 443}
+	if got := ipOnly.UniqueName(); got != "edge-203-0-113-10-443" {
+		t.Fatalf("UniqueName = %q", got)
+	}
+}
+
+func TestParseRequiresDeployment(t *testing.T) {
+	_, err := Parse("kind: Service\n")
+	if !errors.Is(err, ErrNoDeployment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnnotateSetsNameLabelsReplicas(t *testing.T) {
+	def, err := Parse(nginxYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Annotate(def, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UniqueName != "edge-web-example-com-80" {
+		t.Errorf("UniqueName = %q", a.UniqueName)
+	}
+	meta := a.Deployment["metadata"].(map[string]any)
+	if meta["name"] != a.UniqueName {
+		t.Errorf("metadata.name = %v", meta["name"])
+	}
+	labels := meta["labels"].(map[string]any)
+	if labels[EdgeServiceLabel] != a.UniqueName || labels["app"] != a.UniqueName {
+		t.Errorf("labels = %#v", labels)
+	}
+	spec := a.Deployment["spec"].(map[string]any)
+	if spec["replicas"] != int64(0) {
+		t.Errorf("replicas = %v, want 0 (scale to zero)", spec["replicas"])
+	}
+	match := spec["selector"].(map[string]any)["matchLabels"].(map[string]any)
+	if match["app"] != a.UniqueName {
+		t.Errorf("matchLabels = %#v", match)
+	}
+	tmplLabels := spec["template"].(map[string]any)["metadata"].(map[string]any)["labels"].(map[string]any)
+	if tmplLabels[EdgeServiceLabel] != a.UniqueName {
+		t.Errorf("template labels = %#v", tmplLabels)
+	}
+}
+
+func TestAnnotateDoesNotMutateInput(t *testing.T) {
+	def, _ := Parse(nginxYAML)
+	before := yaml.Encode(def.Deployment)
+	if _, err := Annotate(def, reg, Options{SchedulerName: "custom"}); err != nil {
+		t.Fatal(err)
+	}
+	if yaml.Encode(def.Deployment) != before {
+		t.Fatal("Annotate mutated the parsed definition")
+	}
+}
+
+func TestAnnotateSchedulerName(t *testing.T) {
+	def, _ := Parse(nginxYAML)
+	a, _ := Annotate(def, reg, Options{SchedulerName: "matching-sched"})
+	podSpec := a.Deployment["spec"].(map[string]any)["template"].(map[string]any)["spec"].(map[string]any)
+	if podSpec["schedulerName"] != "matching-sched" {
+		t.Fatalf("schedulerName = %v", podSpec["schedulerName"])
+	}
+	b, _ := Annotate(def, reg, Options{})
+	podSpecB := b.Deployment["spec"].(map[string]any)["template"].(map[string]any)["spec"].(map[string]any)
+	if _, present := podSpecB["schedulerName"]; present {
+		t.Fatal("schedulerName set without a configured Local Scheduler")
+	}
+}
+
+func TestAnnotateGeneratesService(t *testing.T) {
+	def, _ := Parse(nginxYAML)
+	a, _ := Annotate(def, reg, Options{})
+	if a.Service == nil {
+		t.Fatal("no Service generated")
+	}
+	sspec := a.Service["spec"].(map[string]any)
+	ports := sspec["ports"].([]any)[0].(map[string]any)
+	if ports["protocol"] != "TCP" || ports["port"] != int64(80) || ports["targetPort"] != int64(80) {
+		t.Fatalf("ports = %#v", ports)
+	}
+	if sspec["selector"].(map[string]any)["app"] != a.UniqueName {
+		t.Fatalf("selector = %#v", sspec["selector"])
+	}
+	if a.TargetPort != 80 {
+		t.Fatalf("TargetPort = %d", a.TargetPort)
+	}
+}
+
+func TestAnnotateKeepsDeveloperService(t *testing.T) {
+	def, err := Parse(multiYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Annotate(def, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sspec := a.Service["spec"].(map[string]any)
+	ports := sspec["ports"].([]any)[0].(map[string]any)
+	if ports["targetPort"] != int64(8080) {
+		t.Fatalf("developer targetPort overridden: %#v", ports)
+	}
+	if a.TargetPort != 8080 {
+		t.Fatalf("TargetPort = %d, want developer's 8080", a.TargetPort)
+	}
+}
+
+func TestParseContainersMultiple(t *testing.T) {
+	def, _ := Parse(multiYAML)
+	a, err := Annotate(def, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Containers) != 2 {
+		t.Fatalf("containers = %d, want 2", len(a.Containers))
+	}
+	nginx, writer := a.Containers[0], a.Containers[1]
+	if nginx.Name != "nginx" || nginx.ContainerPort != 80 {
+		t.Errorf("nginx = %+v", nginx)
+	}
+	if writer.Image != "josefhammer/env-writer-py" || writer.ContainerPort != 0 {
+		t.Errorf("writer = %+v", writer)
+	}
+	if writer.Env["INTERVAL"] != "1" {
+		t.Errorf("env = %#v", writer.Env)
+	}
+	if len(nginx.Mounts) != 1 || nginx.Mounts[0].HostPath != "/srv/shared" ||
+		nginx.Mounts[0].ContainerPath != "/usr/share/nginx/html" {
+		t.Errorf("mounts = %#v", nginx.Mounts)
+	}
+}
+
+func TestLeanDefinitionOnlyImage(t *testing.T) {
+	// The paper: "The only mandatory data is the name of the image."
+	def, err := Parse(leanYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Annotate(def, Registration{Domain: "asm.example.com", VIP: "203.0.113.11", Port: 80}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Containers) != 1 || a.Containers[0].Image != "josefhammer/web-asm:amd64" {
+		t.Fatalf("containers = %#v", a.Containers)
+	}
+	if a.Containers[0].Name != "c0" {
+		t.Errorf("default container name = %q", a.Containers[0].Name)
+	}
+	// No containerPort declared: Service targets the registered port.
+	if a.TargetPort != 80 {
+		t.Errorf("TargetPort = %d", a.TargetPort)
+	}
+}
+
+func TestAnnotateErrors(t *testing.T) {
+	def := &Definition{Deployment: map[string]any{"spec": map[string]any{
+		"template": map[string]any{"spec": map[string]any{}},
+	}}}
+	if _, err := Annotate(def, reg, Options{}); !errors.Is(err, ErrNoContainers) {
+		t.Fatalf("err = %v, want ErrNoContainers", err)
+	}
+	def2, _ := Parse("spec:\n  template:\n    spec:\n      containers:\n      - name: x\n")
+	if _, err := Annotate(def2, reg, Options{}); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("err = %v, want ErrNoImage", err)
+	}
+}
+
+func TestEncodeYAMLRoundTrips(t *testing.T) {
+	def, _ := Parse(nginxYAML)
+	a, _ := Annotate(def, reg, Options{})
+	out := a.EncodeYAML()
+	docs, err := yaml.DecodeAll(out)
+	if err != nil {
+		t.Fatalf("re-decode: %v\n%s", err, out)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("docs = %d, want 2", len(docs))
+	}
+	if !strings.Contains(out, "edge.service") {
+		t.Error("encoded YAML missing edge.service label")
+	}
+}
+
+func TestParseCPU(t *testing.T) {
+	cases := []struct {
+		in   any
+		want int64
+		err  bool
+	}{
+		{nil, 0, false},
+		{"500m", 500, false},
+		{"2", 2000, false},
+		{0.5, 500, false},
+		{int64(3), 3000, false},
+		{"", 0, false},
+		{"abc", 0, true},
+		{[]any{}, 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCPU(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseCPU(%v) = %d, %v; want %d err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestParseMemory(t *testing.T) {
+	cases := []struct {
+		in   any
+		want int64
+		err  bool
+	}{
+		{nil, 0, false},
+		{"128Mi", 128 << 20, false},
+		{"1Gi", 1 << 30, false},
+		{"2Ki", 2048, false},
+		{"64M", 64_000_000, false},
+		{"1G", 1_000_000_000, false},
+		{"5K", 5_000, false},
+		{"1024", 1024, false},
+		{int64(77), 77, false},
+		{"xMi", 0, true},
+		{"many", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMemory(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseMemory(%v) = %d, %v; want %d err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestAnnotateParsesResourceRequests(t *testing.T) {
+	src := `
+spec:
+  template:
+    spec:
+      containers:
+      - name: heavy
+        image: heavy:1
+        resources:
+          requests:
+            cpu: 1500m
+            memory: 256Mi
+`
+	def, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Annotate(def, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := a.Containers[0]
+	if cs.CPUMillis != 1500 || cs.MemoryBytes != 256<<20 {
+		t.Fatalf("requests = %d / %d", cs.CPUMillis, cs.MemoryBytes)
+	}
+	// Invalid quantities surface as errors.
+	bad := `
+spec:
+  template:
+    spec:
+      containers:
+      - name: x
+        image: x:1
+        resources:
+          requests:
+            cpu: lots
+`
+	defBad, _ := Parse(bad)
+	if _, err := Annotate(defBad, reg, Options{}); err == nil {
+		t.Fatal("invalid cpu quantity accepted")
+	}
+}
+
+func TestRuntimeClassParsed(t *testing.T) {
+	src := `
+spec:
+  template:
+    spec:
+      runtimeClassName: wasm
+      containers:
+      - name: fn
+        image: web:wasm
+`
+	def, _ := Parse(src)
+	a, err := Annotate(def, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RuntimeClass != "wasm" {
+		t.Fatalf("RuntimeClass = %q", a.RuntimeClass)
+	}
+}

@@ -1,0 +1,800 @@
+package testbed
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"transparentedge/internal/catalog"
+	"transparentedge/internal/core"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+)
+
+func TestOnDemandWithWaitingDocker(t *testing.T) {
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	a, reg, err := tb.RegisterCatalogService(catalog.Nginx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second *simnet.HTTPResult
+	tb.K.Go("client", func(p *sim.Proc) {
+		var err error
+		first, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("first request: %v", err)
+			return
+		}
+		second, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("second request: %v", err)
+		}
+	})
+	tb.K.RunUntil(time.Minute)
+	if first == nil || second == nil {
+		t.Fatal("requests did not complete")
+	}
+	// Cached image + created-on-demand: the initial request includes pull
+	// though — cold cache! First request = pull + create + scale-up.
+	if first.Total < time.Second {
+		t.Errorf("first (cold) request = %v, expected pull-dominated seconds", first.Total)
+	}
+	if second.Total > 5*time.Millisecond {
+		t.Errorf("second request = %v, want ~1ms (flow installed)", second.Total)
+	}
+	if !tb.Docker.Running(a.UniqueName) {
+		t.Error("service not running on docker after request")
+	}
+	recs := tb.Ctrl.RecordsFor("egs-docker", a.UniqueName)
+	if len(recs) != 1 || !recs[0].DidPull || !recs[0].DidCreate || !recs[0].DidScaleUp {
+		t.Errorf("records = %+v", recs)
+	}
+	if tb.Ctrl.Stats.PacketIns != 1 {
+		t.Errorf("packet-ins = %d, want 1 (second request used installed flow)", tb.Ctrl.Stats.PacketIns)
+	}
+}
+
+func TestWarmScaleUpDockerUnderOneSecond(t *testing.T) {
+	// The paper's fig. 11 condition: image cached, containers created;
+	// only scale-up on the request path.
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	var res *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		// Warm up: deploy, then scale down (leaves image + containers).
+		if _, err := tb.Ctrl.EnsureDeployed(p, "egs-docker", a.UniqueName); err != nil {
+			t.Errorf("warmup: %v", err)
+			return
+		}
+		tb.Ctrl.ScaleDownService(p, "egs-docker", a.UniqueName)
+		p.Sleep(time.Second)
+		tb.Ctrl.ResetRecords()
+		var err error
+		res, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("request: %v", err)
+		}
+	})
+	tb.K.RunUntil(5 * time.Minute)
+	if res == nil {
+		t.Fatal("no response")
+	}
+	if res.Total > time.Second {
+		t.Fatalf("docker scale-up total = %v, want <1s (paper fig. 11)", res.Total)
+	}
+	recs := tb.Ctrl.RecordsFor("egs-docker", a.UniqueName)
+	if len(recs) != 1 || recs[0].DidPull || recs[0].DidCreate || !recs[0].DidScaleUp {
+		t.Fatalf("records = %+v, want scale-up only", recs)
+	}
+}
+
+func TestWarmScaleUpKubeAroundThreeSeconds(t *testing.T) {
+	tb := New(Options{Seed: 1, EnableKube: true})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	var res *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		if _, err := tb.Ctrl.EnsureDeployed(p, "egs-k8s", a.UniqueName); err != nil {
+			t.Errorf("warmup: %v", err)
+			return
+		}
+		tb.Ctrl.ScaleDownService(p, "egs-k8s", a.UniqueName)
+		p.Sleep(10 * time.Second) // let the pod terminate
+		var err error
+		res, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("request: %v", err)
+		}
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if res == nil {
+		t.Fatal("no response")
+	}
+	if res.Total < 2*time.Second || res.Total > 4*time.Second {
+		t.Fatalf("k8s scale-up total = %v, want ~3s (paper fig. 11)", res.Total)
+	}
+}
+
+func TestWarmRequestAboutOneMillisecond(t *testing.T) {
+	// Fig. 16: instance already running.
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Asm)
+	var res *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		tb.Ctrl.EnsureDeployed(p, "egs-docker", a.UniqueName)
+		// Prime the flow with one request, then measure.
+		tb.Request(p, 0, reg, catalog.Asm, 0)
+		var err error
+		res, err = tb.Request(p, 0, reg, catalog.Asm, 0)
+		if err != nil {
+			t.Errorf("request: %v", err)
+		}
+	})
+	tb.K.RunUntil(5 * time.Minute)
+	if res == nil {
+		t.Fatal("no response")
+	}
+	if res.Total > 3*time.Millisecond {
+		t.Fatalf("warm request = %v, want ~1ms (paper fig. 16)", res.Total)
+	}
+}
+
+func TestNoWaitForwardsToCloudThenEdge(t *testing.T) {
+	sched, err := core.NewScheduler("no-wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := New(Options{Seed: 1, EnableDocker: true, Scheduler: sched})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	var first, later *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		var err error
+		first, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("first: %v", err)
+			return
+		}
+		// Give the background deployment time to finish, let the switch
+		// flow expire so the next packet-in consults the (redirected)
+		// memory... the flow is pass-through to the cloud with a 10s idle
+		// timeout, so wait it out.
+		p.Sleep(30 * time.Second)
+		later, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("later: %v", err)
+		}
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if first == nil || later == nil {
+		t.Fatal("requests did not complete")
+	}
+	// First request was NOT held: it went to the cloud (tens of ms — the
+	// 8ms uplink + 2ms origin link round trips), far below a deployment.
+	if first.Total > 200*time.Millisecond {
+		t.Fatalf("first (no-wait) = %v, want cloud-forwarded tens of ms", first.Total)
+	}
+	if tb.Ctrl.Stats.CloudForwards == 0 {
+		t.Error("no cloud forward recorded")
+	}
+	// The edge instance was deployed in the background and the later
+	// request is served at the edge.
+	if !tb.Docker.Running(a.UniqueName) {
+		t.Error("background deployment did not run")
+	}
+	// The later request pays one controller dispatch (incl. cluster state
+	// queries) before reaching the edge instance.
+	if later.Total > 30*time.Millisecond {
+		t.Fatalf("later request = %v, want edge latency", later.Total)
+	}
+}
+
+func TestFlowMemoryServesAfterSwitchFlowExpiry(t *testing.T) {
+	tb := New(Options{
+		Seed: 1, EnableDocker: true,
+		SwitchIdleTimeout: time.Second,
+		MemoryIdleTimeout: 5 * time.Minute,
+	})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	var second *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		tb.Ctrl.EnsureDeployed(p, "egs-docker", a.UniqueName)
+		tb.Request(p, 0, reg, catalog.Nginx, 0)
+		p.Sleep(5 * time.Second) // switch flow expired; memory alive
+		var err error
+		second, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("second: %v", err)
+		}
+	})
+	tb.K.RunUntil(time.Minute)
+	if second == nil {
+		t.Fatal("no response")
+	}
+	if tb.Ctrl.Stats.MemoryServed == 0 {
+		t.Fatal("FlowMemory did not serve the returning client")
+	}
+	// Memory-served requests skip scheduling and deployment: only a
+	// controller round trip is added.
+	if second.Total > 5*time.Millisecond {
+		t.Fatalf("memory-served request = %v", second.Total)
+	}
+}
+
+func TestAutoScaleDownAfterMemoryExpiry(t *testing.T) {
+	tb := New(Options{
+		Seed: 1, EnableDocker: true,
+		SwitchIdleTimeout: time.Second,
+		MemoryIdleTimeout: 10 * time.Second,
+		AutoScaleDown:     true,
+	})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	tb.K.Go("driver", func(p *sim.Proc) {
+		if _, err := tb.Request(p, 0, reg, catalog.Nginx, 0); err != nil {
+			t.Errorf("request: %v", err)
+		}
+	})
+	tb.K.RunUntil(2 * time.Minute)
+	if tb.Docker.Running(a.UniqueName) {
+		t.Fatal("idle service not scaled down after FlowMemory expiry")
+	}
+	if !tb.Docker.Exists(a.UniqueName) {
+		t.Fatal("scale-down removed the service entirely")
+	}
+}
+
+func TestHybridDockerFirstThenKubernetes(t *testing.T) {
+	sched, err := core.NewScheduler("docker-first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := New(Options{
+		Seed: 1, EnableDocker: true, EnableKube: true, Scheduler: sched,
+		SwitchIdleTimeout: 2 * time.Second,
+	})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	var first, later *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		// Pre-pull so the first request measures the §VII contrast
+		// (start times), not the shared pull.
+		tb.Docker.Pull(p, a)
+		var err error
+		first, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("first: %v", err)
+			return
+		}
+		p.Sleep(time.Minute) // background K8s deployment + flow expiry
+		later, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("later: %v", err)
+			return
+		}
+		// Inspect the memory now, before idle expiry clears it.
+		ep, _ := tb.Kube.Endpoint(a.UniqueName)
+		found := false
+		for _, e := range tb.Ctrl.Memory.Entries() {
+			if e.Instance.Cluster == "egs-k8s" && e.Instance.Port == ep.Port {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("memory entries not pointing at kubernetes: %+v", tb.Ctrl.Memory.Entries())
+		}
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if first == nil || later == nil {
+		t.Fatal("requests did not complete")
+	}
+	// First answered by Docker: sub-second.
+	if first.Total > 1200*time.Millisecond {
+		t.Fatalf("first (docker) = %v, want <1s", first.Total)
+	}
+	// Kubernetes took over for future requests.
+	if !tb.Kube.Running(a.UniqueName) {
+		t.Fatal("kubernetes instance not deployed in background")
+	}
+	if tb.Ctrl.Stats.Redirections == 0 {
+		t.Fatal("FlowMemory was not redirected to the kubernetes instance")
+	}
+	if later.Total > 5*time.Millisecond {
+		t.Fatalf("later request = %v, want edge latency via k8s", later.Total)
+	}
+}
+
+func TestPrivateRegistrySpeedsUpPull(t *testing.T) {
+	pull := func(private bool) time.Duration {
+		tb := New(Options{Seed: 1, EnableDocker: true, UsePrivateRegistry: private})
+		a, _, _ := tb.RegisterCatalogService(catalog.Nginx)
+		var d time.Duration
+		tb.K.Go("driver", func(p *sim.Proc) {
+			t0 := p.Now()
+			if err := tb.Docker.Pull(p, a); err != nil {
+				t.Errorf("pull: %v", err)
+			}
+			d = p.Now() - t0
+		})
+		tb.K.RunUntil(5 * time.Minute)
+		return d
+	}
+	hub := pull(false)
+	priv := pull(true)
+	saving := hub - priv
+	// Fig. 13: "pull times improve by about 1.5 to 2 seconds".
+	if saving < time.Second || saving > 3*time.Second {
+		t.Fatalf("private registry saving = %v (hub %v, private %v), want ~1.5-2s", saving, hub, priv)
+	}
+}
+
+func TestSharedRuntimeBetweenDockerAndKube(t *testing.T) {
+	// Both clusters run over the same containerd: an image pulled for
+	// Docker is cached for Kubernetes (paper: same containerd on the EGS).
+	tb := New(Options{Seed: 1, EnableDocker: true, EnableKube: true})
+	a, _, _ := tb.RegisterCatalogService(catalog.Nginx)
+	tb.K.Go("driver", func(p *sim.Proc) {
+		if err := tb.Docker.Pull(p, a); err != nil {
+			t.Errorf("pull: %v", err)
+			return
+		}
+		if !tb.Kube.HasImages(a) {
+			t.Error("kube cluster does not see the shared image cache")
+		}
+	})
+	tb.K.RunUntil(5 * time.Minute)
+}
+
+func TestConcurrentClientsShareOneDeployment(t *testing.T) {
+	// Several clients hitting the same cold service must trigger exactly
+	// one deployment (fig. 10's dedup requirement), and all get answers.
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	done := 0
+	for i := 0; i < 5; i++ {
+		i := i
+		tb.K.Go("client", func(p *sim.Proc) {
+			if _, err := tb.Request(p, i, reg, catalog.Nginx, 0); err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			done++
+		})
+	}
+	tb.K.RunUntil(time.Minute)
+	if done != 5 {
+		t.Fatalf("responses = %d, want 5", done)
+	}
+	recs := tb.Ctrl.RecordsFor("egs-docker", a.UniqueName)
+	deployed := 0
+	for _, r := range recs {
+		if r.DidScaleUp {
+			deployed++
+		}
+	}
+	if deployed != 1 {
+		t.Fatalf("deployments = %d, want 1 (deduplicated)", deployed)
+	}
+	if got := len(tb.Docker.Containers(a.UniqueName)); got != 1 {
+		t.Fatalf("containers = %d, want 1", got)
+	}
+}
+
+func TestUnregisteredAddressPassesThrough(t *testing.T) {
+	// Traffic to a non-registered cloud address must flow normally (the
+	// transparent edge intercepts only registered services).
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	other := simnet.NewHost(tb.Net, "plain-cloud", "203.0.113.200")
+	tb.attachCloudHost(other, simnet.LinkConfig{Latency: 2 * time.Millisecond, Bandwidth: simnet.Gbps})
+	other.ServeHTTP(80, func(p *sim.Proc, req *simnet.HTTPRequest) *simnet.HTTPResponse {
+		return &simnet.HTTPResponse{Status: 200, Body: "plain"}
+	})
+	var res *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		var err error
+		res, err = tb.Clients[0].HTTPGet(p, other.IP(), 80, &simnet.HTTPRequest{}, 0)
+		if err != nil {
+			t.Errorf("request: %v", err)
+		}
+	})
+	tb.K.RunUntil(time.Minute)
+	if res == nil || res.Resp.Body != "plain" {
+		t.Fatalf("res = %+v", res)
+	}
+	if tb.Ctrl.Stats.PacketIns != 0 {
+		t.Fatalf("packet-ins = %d for unregistered traffic", tb.Ctrl.Stats.PacketIns)
+	}
+}
+
+func TestResNetSlowestWarmService(t *testing.T) {
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	a, reg, _ := tb.RegisterCatalogService(catalog.ResNet)
+	var warm *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		tb.Ctrl.EnsureDeployed(p, "egs-docker", a.UniqueName)
+		tb.Request(p, 0, reg, catalog.ResNet, 0)
+		var err error
+		warm, err = tb.Request(p, 0, reg, catalog.ResNet, 0)
+		if err != nil {
+			t.Errorf("request: %v", err)
+		}
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if warm == nil {
+		t.Fatal("no response")
+	}
+	// Fig. 16: ResNet requires significantly longer than the ~1ms of the
+	// web servers (inference time + 83 KiB upload).
+	if warm.Total < 100*time.Millisecond || warm.Total > 500*time.Millisecond {
+		t.Fatalf("ResNet warm request = %v, want ~140-200ms", warm.Total)
+	}
+}
+
+func TestRegisterUnknownServiceKey(t *testing.T) {
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	if _, _, err := tb.RegisterCatalogService("Apache"); err == nil {
+		t.Fatal("unknown catalog key accepted")
+	}
+}
+
+func TestDialErrorsSurfaceOnTimeout(t *testing.T) {
+	// A request with a timeout shorter than the deployment fails with
+	// ErrTimeout instead of blocking forever.
+	tb := New(Options{Seed: 1, EnableKube: true})
+	_, reg, _ := tb.RegisterCatalogService(catalog.ResNet)
+	var err error
+	tb.K.Go("driver", func(p *sim.Proc) {
+		_, err = tb.Request(p, 0, reg, catalog.ResNet, 2*time.Second)
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if !errors.Is(err, simnet.ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestFarEdgeServesWhileNearDeploys(t *testing.T) {
+	// Fig. 3: the initial request goes to a running instance in a farther
+	// edge; the optimal (near) edge deploys in the background and future
+	// requests move there.
+	sched, _ := core.NewScheduler("proximity")
+	tb := New(Options{
+		Seed: 1, EnableDocker: true, EnableFarEdge: true,
+		Scheduler:         sched,
+		SwitchIdleTimeout: 2 * time.Second,
+	})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	var first, later *simnet.HTTPResult
+	var firstCluster, laterCluster string
+	tb.K.Go("driver", func(p *sim.Proc) {
+		// The far edge already runs the service (hierarchically higher
+		// clusters are more likely to have it).
+		if err := tb.FarDocker.Pull(p, a); err != nil {
+			t.Errorf("far pull: %v", err)
+			return
+		}
+		tb.FarDocker.Create(p, a)
+		inst, _ := tb.FarDocker.ScaleUp(p, a.UniqueName)
+		for !tb.FarRuntime.List(nil)[0].Ready() {
+			p.Sleep(20 * time.Millisecond)
+		}
+		_ = inst
+		var err error
+		first, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("first: %v", err)
+			return
+		}
+		for _, e := range tb.Ctrl.Memory.Entries() {
+			firstCluster = e.Instance.Cluster
+		}
+		p.Sleep(time.Minute) // background deploy to near edge + flow expiry
+		later, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("later: %v", err)
+			return
+		}
+		for _, e := range tb.Ctrl.Memory.Entries() {
+			laterCluster = e.Instance.Cluster
+		}
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if first == nil || later == nil {
+		t.Fatal("requests incomplete")
+	}
+	// First served without waiting: no deployment in the request path.
+	if first.Total > 100*time.Millisecond {
+		t.Fatalf("first (far edge) = %v, want low ms (no waiting)", first.Total)
+	}
+	if firstCluster != "far-docker" {
+		t.Fatalf("first served by %q, want far-docker", firstCluster)
+	}
+	if !tb.Docker.Running(a.UniqueName) {
+		t.Fatal("near edge not deployed in background")
+	}
+	if laterCluster != "egs-docker" {
+		t.Fatalf("later served by %q, want egs-docker (optimal)", laterCluster)
+	}
+	// The near edge is closer: later requests are faster than the first.
+	if later.Total >= first.Total {
+		t.Fatalf("later (%v) not faster than far-edge first (%v)", later.Total, first.Total)
+	}
+}
+
+func TestPuntRuleSurvivesFlowReinstalls(t *testing.T) {
+	// Regression: controller-assigned flow cookies must never collide
+	// with the switch-assigned cookies of the punt rules. With a short
+	// switch idle timeout, a returning client makes the controller delete
+	// and re-install its redirect pair; service B's punt rule must still
+	// be intact afterwards, so B's first request triggers a deployment
+	// instead of silently passing through to the cloud.
+	tb := New(Options{
+		Seed: 1, EnableDocker: true,
+		SwitchIdleTimeout: time.Second,
+		MemoryIdleTimeout: 10 * time.Minute,
+	})
+	aA, regA, _ := tb.RegisterCatalogService(catalog.Nginx)
+	aB, regB, _ := tb.RegisterCatalogService(catalog.Asm)
+	_ = aA
+	tb.K.Go("driver", func(p *sim.Proc) {
+		// Service A: deploy, then re-trigger memory-served reinstalls.
+		if _, err := tb.Request(p, 0, regA, catalog.Nginx, 0); err != nil {
+			t.Errorf("A first: %v", err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			p.Sleep(5 * time.Second) // switch flow expires; memory serves
+			if _, err := tb.Request(p, 0, regA, catalog.Nginx, 0); err != nil {
+				t.Errorf("A repeat %d: %v", i, err)
+				return
+			}
+		}
+		if tb.Ctrl.Stats.MemoryServed == 0 {
+			t.Error("expected memory-served reinstalls")
+		}
+		// Service B's first request must still reach the controller.
+		if _, err := tb.Request(p, 1, regB, catalog.Asm, 0); err != nil {
+			t.Errorf("B first: %v", err)
+			return
+		}
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if !tb.Docker.Running(aB.UniqueName) {
+		t.Fatal("service B was never deployed: its punt rule was deleted by a cookie collision")
+	}
+	if tb.Ctrl.Stats.CloudForwards != 0 {
+		t.Fatalf("cloud forwards = %d, want 0", tb.Ctrl.Stats.CloudForwards)
+	}
+}
+
+func TestDeploymentFailureFallsBackToCloud(t *testing.T) {
+	// A registered service whose image exists in no registry cannot be
+	// deployed; the controller must degrade gracefully and forward the
+	// held request to the real cloud origin, which still answers.
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	const ghostYAML = `
+spec:
+  template:
+    spec:
+      containers:
+      - name: ghost
+        image: ghost/unpublished:1
+        ports:
+        - containerPort: 80
+`
+	a, reg, err := tb.RegisterService(ghostYAML, "ghost.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		var rerr error
+		res, rerr = tb.Clients[0].HTTPGet(p, reg.VIP, reg.Port, &simnet.HTTPRequest{}, 0)
+		if rerr != nil {
+			t.Errorf("request: %v", rerr)
+		}
+	})
+	tb.K.RunUntil(5 * time.Minute)
+	if res == nil || res.Resp.Status != 200 {
+		t.Fatalf("res = %+v, want cloud answer", res)
+	}
+	if tb.Ctrl.Stats.CloudForwards == 0 {
+		t.Fatal("no cloud fallback recorded")
+	}
+	if tb.Docker.Running(a.UniqueName) {
+		t.Fatal("service running despite missing image")
+	}
+	// The failed attempt is recorded with its error.
+	failed := 0
+	for _, r := range tb.Ctrl.Records() {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no failed deployment record")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	// The entire testbed is deterministic per seed: two runs of the same
+	// scenario produce byte-identical stats and request timings.
+	run := func() (core.Stats, []time.Duration) {
+		tb := New(Options{Seed: 77, EnableDocker: true, EnableKube: true,
+			Scheduler: core.DockerFirstScheduler{}, SwitchIdleTimeout: 2 * time.Second})
+		_, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+		var totals []time.Duration
+		tb.K.Go("driver", func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				hr, err := tb.Request(p, i%len(tb.Clients), reg, catalog.Nginx, 0)
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+					return
+				}
+				totals = append(totals, hr.Total)
+				p.Sleep(7 * time.Second)
+			}
+		})
+		tb.K.RunUntil(10 * time.Minute)
+		return tb.Ctrl.Stats, totals
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("sample counts diverged: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("timing %d diverged: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestDeletePhaseRemovesImagesAndRepullWorks(t *testing.T) {
+	// Fig. 4's optional Delete phase: deleting a service's cached images
+	// frees the store; the next deployment pulls again. (Layer survival
+	// across distinct images sharing blobs is covered by the registry
+	// tests; here both services reference the same nginx image ref, so
+	// deleting one deletes it for both.)
+	tb := New(Options{Seed: 1, EnableDocker: true})
+	combo, _, _ := tb.RegisterCatalogService(catalog.NginxPy)
+	plain, _, _ := tb.RegisterCatalogService(catalog.Nginx)
+	tb.K.Go("driver", func(p *sim.Proc) {
+		t0 := p.Now()
+		if err := tb.Docker.Pull(p, combo); err != nil {
+			t.Errorf("pull: %v", err)
+			return
+		}
+		coldPull := p.Now() - t0
+		// The plain service's image is now cached too (same ref).
+		if !tb.Docker.HasImages(plain) {
+			t.Error("plain nginx not cached after combo pull")
+		}
+		if err := tb.Ctrl.DeleteImages(p, "egs-docker", combo.UniqueName); err != nil {
+			t.Errorf("delete: %v", err)
+			return
+		}
+		if tb.Docker.HasImages(combo) || tb.Docker.HasImages(plain) {
+			t.Error("images still cached after delete")
+		}
+		// Re-pull is a full cold pull again.
+		t0 = p.Now()
+		if err := tb.Docker.Pull(p, combo); err != nil {
+			t.Errorf("re-pull: %v", err)
+			return
+		}
+		rePull := p.Now() - t0
+		if rePull < coldPull/2 {
+			t.Errorf("re-pull (%v) suspiciously fast vs cold (%v)", rePull, coldPull)
+		}
+	})
+	tb.K.RunUntil(30 * time.Minute)
+}
+
+func TestDeleteImagesErrors(t *testing.T) {
+	tb := New(Options{Seed: 1, EnableKube: true})
+	a, _, _ := tb.RegisterCatalogService(catalog.Nginx)
+	tb.K.Go("driver", func(p *sim.Proc) {
+		if err := tb.Ctrl.DeleteImages(p, "nope", a.UniqueName); err == nil {
+			t.Error("unknown cluster accepted")
+		}
+		if err := tb.Ctrl.DeleteImages(p, "egs-k8s", "nope"); err == nil {
+			t.Error("unknown service accepted")
+		}
+		// The kube cluster does not implement ImageDeleter.
+		if err := tb.Ctrl.DeleteImages(p, "egs-k8s", a.UniqueName); err == nil {
+			t.Error("non-deleter cluster accepted")
+		}
+	})
+	tb.K.RunUntil(time.Minute)
+}
+
+func TestRuntimeClassPlacement(t *testing.T) {
+	// §VIII side-by-side: with Docker AND the serverless platform enabled,
+	// a runtimeClassName:wasm service must land on the serverless
+	// platform, and a regular container service on Docker.
+	tb := New(Options{Seed: 1, EnableDocker: true, EnableServerless: true})
+	ctr, ctrReg, _ := tb.RegisterCatalogService(catalog.Asm)
+	fn, fnReg, _ := tb.RegisterCatalogService(catalog.AsmWasm)
+	if fn.RuntimeClass != "wasm" || ctr.RuntimeClass != "" {
+		t.Fatalf("runtime classes = %q / %q", fn.RuntimeClass, ctr.RuntimeClass)
+	}
+	tb.K.Go("driver", func(p *sim.Proc) {
+		if _, err := tb.Request(p, 0, fnReg, catalog.AsmWasm, 0); err != nil {
+			t.Errorf("wasm request: %v", err)
+			return
+		}
+		if _, err := tb.Request(p, 1, ctrReg, catalog.Asm, 0); err != nil {
+			t.Errorf("container request: %v", err)
+			return
+		}
+	})
+	tb.K.RunUntil(5 * time.Minute)
+	if !tb.Serverless.Running(fn.UniqueName) {
+		t.Error("wasm service not on the serverless platform")
+	}
+	if tb.Docker.Running(fn.UniqueName) {
+		t.Error("wasm service deployed to docker")
+	}
+	if !tb.Docker.Running(ctr.UniqueName) {
+		t.Error("container service not on docker")
+	}
+	if tb.Serverless.Running(ctr.UniqueName) {
+		t.Error("container service deployed to the serverless platform")
+	}
+	if tb.Serverless.ColdStarts != 1 {
+		t.Errorf("cold starts = %d, want 1", tb.Serverless.ColdStarts)
+	}
+}
+
+func TestCrashedInstanceIsRedeployedOnNextRequest(t *testing.T) {
+	// Resilience: a crashed container leaves a stale FlowMemory entry and
+	// stale switch flows. After the switch flow idle-expires, the next
+	// request punts to the controller, the memory entry fails the
+	// liveness check, and the dispatcher redeploys — the client just sees
+	// one slower request.
+	tb := New(Options{
+		Seed: 1, EnableDocker: true,
+		SwitchIdleTimeout: time.Second,
+	})
+	a, reg, _ := tb.RegisterCatalogService(catalog.Nginx)
+	var afterCrash *simnet.HTTPResult
+	tb.K.Go("driver", func(p *sim.Proc) {
+		if _, err := tb.Request(p, 0, reg, catalog.Nginx, 0); err != nil {
+			t.Errorf("first: %v", err)
+			return
+		}
+		if err := tb.Docker.KillService(a.UniqueName); err != nil {
+			t.Errorf("kill: %v", err)
+			return
+		}
+		if tb.Docker.Running(a.UniqueName) {
+			t.Error("service still running after kill")
+		}
+		p.Sleep(5 * time.Second) // switch flow expires
+		var err error
+		afterCrash, err = tb.Request(p, 0, reg, catalog.Nginx, 0)
+		if err != nil {
+			t.Errorf("after crash: %v", err)
+			return
+		}
+	})
+	tb.K.RunUntil(10 * time.Minute)
+	if afterCrash == nil {
+		t.Fatal("no response after crash")
+	}
+	// The request triggered a fresh scale-up (sub-second on Docker).
+	if afterCrash.Total < 300*time.Millisecond || afterCrash.Total > 1500*time.Millisecond {
+		t.Fatalf("post-crash request = %v, want a redeployment", afterCrash.Total)
+	}
+	if !tb.Docker.Running(a.UniqueName) {
+		t.Fatal("service not redeployed after crash")
+	}
+	redeploys := 0
+	for _, r := range tb.Ctrl.RecordsFor("egs-docker", a.UniqueName) {
+		if r.DidScaleUp {
+			redeploys++
+		}
+	}
+	if redeploys != 2 {
+		t.Fatalf("scale-ups = %d, want 2 (initial + post-crash)", redeploys)
+	}
+}

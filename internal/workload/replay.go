@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"time"
+
+	"transparentedge/internal/metrics"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/spec"
+	"transparentedge/internal/testbed"
+)
+
+// ReplayResult aggregates one trace replay.
+type ReplayResult struct {
+	// Totals holds every request's client-measured total time (timecurl's
+	// time_total), stamped at the request's arrival time.
+	Totals *metrics.Series
+	// FirstRequests holds only each service's first request (the
+	// on-demand deployment requests of figs. 11/12).
+	FirstRequests *metrics.Series
+	// Errors counts failed requests.
+	Errors int
+	// Registrations are the per-service registrations used.
+	Registrations []spec.Registration
+}
+
+// Replay registers trace.Config.Services instances of the given Table I
+// service type (the paper uses "a single service type per test run"),
+// optionally pre-pulls and pre-creates them (the fig. 11 warm conditions),
+// then replays the trace: every request is issued from its client at its
+// arrival time and measured end to end.
+//
+// The testbed kernel is run to completion inside Replay.
+func Replay(tb *testbed.Testbed, trace *Trace, serviceKey string, prePull, preCreate bool) (*ReplayResult, error) {
+	res := &ReplayResult{
+		Totals:        metrics.NewSeries(serviceKey + "/totals"),
+		FirstRequests: metrics.NewSeries(serviceKey + "/first"),
+	}
+	regs := make([]spec.Registration, trace.Config.Services)
+	annotated := make([]*spec.Annotated, trace.Config.Services)
+	for i := 0; i < trace.Config.Services; i++ {
+		a, reg, err := tb.RegisterCatalogService(serviceKey)
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = reg
+		annotated[i] = a
+	}
+	res.Registrations = regs
+
+	// Preparation (pre-pull/pre-create) runs first; the trace's t=0 is
+	// then anchored at preparation end so arrival spacing is preserved.
+	prepDone := sim.NewPromise[sim.Time](tb.K)
+	tb.K.Go("prepare", func(p *sim.Proc) {
+		defer func() { prepDone.Resolve(p.Now()) }()
+		if !prePull && !preCreate {
+			return
+		}
+		for _, cl := range tb.Ctrl.Clusters() {
+			for _, a := range annotated {
+				if err := cl.Pull(p, a); err != nil {
+					res.Errors++
+					return
+				}
+				if preCreate {
+					if err := cl.Create(p, a); err != nil {
+						res.Errors++
+						return
+					}
+				}
+			}
+		}
+	})
+
+	firstSeen := make(map[int]bool, trace.Config.Services)
+	for _, r := range trace.Requests {
+		r := r
+		isFirst := !firstSeen[r.Service]
+		firstSeen[r.Service] = true
+		tb.K.Go("replay", func(p *sim.Proc) {
+			// Wait for preparation, then until this request's arrival
+			// relative to the anchored trace start.
+			t0, _ := prepDone.Await(p)
+			p.SleepUntil(t0 + r.At)
+			at := p.Now()
+			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, 0)
+			if err != nil {
+				res.Errors++
+				return
+			}
+			res.Totals.Add(at, hr.Total)
+			if isFirst {
+				res.FirstRequests.Add(at, hr.Total)
+			}
+		})
+	}
+	// Run until all requests completed (generous bound: trace duration
+	// plus slack for trailing deployments).
+	tb.K.RunUntil(trace.Config.Duration + 30*time.Minute)
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package yaml_test
+
+import (
+	"fmt"
+
+	"transparentedge/internal/yaml"
+)
+
+// Decode parses the Kubernetes-style subset used by service definitions.
+func ExampleDecode() {
+	v, err := yaml.Decode(`
+metadata:
+  name: web
+spec:
+  replicas: 0
+  ports: [80, 443]
+`)
+	if err != nil {
+		panic(err)
+	}
+	m := v.(map[string]any)
+	fmt.Println(m["metadata"].(map[string]any)["name"])
+	fmt.Println(m["spec"].(map[string]any)["replicas"])
+	fmt.Println(m["spec"].(map[string]any)["ports"])
+	// Output:
+	// web
+	// 0
+	// [80 443]
+}
+
+// Encode renders canonical values deterministically (sorted keys), so the
+// output is stable and re-decodable.
+func ExampleEncode() {
+	fmt.Print(yaml.Encode(map[string]any{
+		"kind":     "Service",
+		"metadata": map[string]any{"name": "web"},
+		"ports":    []any{int64(80)},
+	}))
+	// Output:
+	// kind: Service
+	// metadata:
+	//   name: web
+	// ports:
+	//   - 80
+}
+
+// DecodeAll reads multi-document streams (Deployment + Service files).
+func ExampleDecodeAll() {
+	docs, err := yaml.DecodeAll("kind: Deployment\n---\nkind: Service\n")
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range docs {
+		fmt.Println(d.(map[string]any)["kind"])
+	}
+	// Output:
+	// Deployment
+	// Service
+}
