@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments examples clean
+.PHONY: all check build vet test race bench fuzz experiments examples clean
 
-all: build vet test
+all: check
+
+# The full pre-merge gate: compile, static analysis, tests, race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...

@@ -12,6 +12,7 @@
 package transparentedge_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -301,6 +302,47 @@ func BenchmarkScale_LargeTrace(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(res.FirstRequests.Len()), "deployments")
 			b.ReportMetric(ms(res.Totals.Median()), "median_ms")
+		}
+	}
+}
+
+// BenchmarkDispatch_StateQueries measures the dispatcher's packet-in
+// latency as the cluster count grows, for both state-gathering modes: the
+// parallel default stays ~flat (charged latency = max over clusters) while
+// the paper's original serial mode grows linearly (sum over clusters).
+func BenchmarkDispatch_StateQueries(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"parallel", false}, {"serial", true}} {
+		for _, clusters := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/clusters=%d", mode.name, clusters), func(b *testing.B) {
+				var res edge.DispatchScaleResult
+				for i := 0; i < b.N; i++ {
+					res = edge.RunDispatchScale(benchSeed, clusters, mode.serial)
+				}
+				b.ReportMetric(ms(res.Dispatch), "dispatch_ms")
+			})
+		}
+	}
+}
+
+// BenchmarkChurn_ControllerState replays 10k one-shot clients with short
+// idle timeouts: the controller's cookie / client-location / flow-memory
+// maps must peak at the idle-timeout window (not the client count) and
+// drain to zero afterwards.
+func BenchmarkChurn_ControllerState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := edge.RunCookieChurn(benchSeed, 10000)
+		if res.FinalCookies != 0 || res.FinalClientLocs != 0 || res.FinalMemory != 0 {
+			b.Fatalf("controller state leaked: %d cookies / %d client locs / %d memory entries",
+				res.FinalCookies, res.FinalClientLocs, res.FinalMemory)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.String())
+			b.ReportMetric(float64(res.PeakCookies), "peak_cookies")
+			b.ReportMetric(float64(res.PeakClientLocs), "peak_client_locs")
+			b.ReportMetric(float64(res.PeakMemory), "peak_memory")
 		}
 	}
 }

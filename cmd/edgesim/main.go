@@ -23,6 +23,9 @@ var (
 	scale    = flag.Float64("scale", 1, "trace scale in (0,1] for the trace-driven figures")
 	requests = flag.Int("requests", 200, "warm requests per service for fig16")
 	asCSV    = flag.Bool("csv", false, "emit tables as CSV (milliseconds) instead of text")
+	clusters = flag.Int("clusters", 16, "edge cluster count for scale-dispatch")
+	clients  = flag.Int("clients", 2000, "one-shot client count for scale-churn")
+	serial   = flag.Bool("serial", false, "scale-dispatch: serial per-cluster state queries (the paper's original dispatcher)")
 )
 
 func printTable(t interface {
@@ -71,6 +74,8 @@ Experiments (each reproduces one table/figure of the paper):
   ablation-proactive on-demand vs EWMA-predicted proactive deployment
   ablation-probe    readiness-probe interval sweep
   ablation-hierarchy fig. 3: cold vs far-warm vs near-warm first request
+  scale-dispatch    dispatch latency vs cluster count (-clusters, -serial)
+  scale-churn       controller-state bounds under client churn (-clients)
   all      run everything
 
 Flags:
@@ -82,7 +87,8 @@ func run(which string) error {
 	if which == "all" {
 		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
-			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy"} {
+			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
+			"scale-dispatch", "scale-churn"} {
 			if err := run(w); err != nil {
 				return fmt.Errorf("%s: %w", w, err)
 			}
@@ -185,6 +191,15 @@ func run(which string) error {
 		}
 		printTable(res.Table)
 		fmt.Printf("proactive deployments: %d\n", res.ProactiveDeployments)
+	case "scale-dispatch":
+		fmt.Println(edge.RunDispatchScale(*seed, 1, *serial).String())
+		fmt.Println(edge.RunDispatchScale(*seed, *clusters, *serial).String())
+		if !*serial {
+			// Show the paper's original serial dispatcher for comparison.
+			fmt.Println(edge.RunDispatchScale(*seed, *clusters, true).String())
+		}
+	case "scale-churn":
+		fmt.Print(edge.RunCookieChurn(*seed, *clients).String())
 	default:
 		return fmt.Errorf("unknown experiment %q", which)
 	}

@@ -243,3 +243,25 @@ func RunAblationProbeInterval(seed int64, intervals []time.Duration) (*experimen
 func RunAblationHierarchy(seed int64) (*experiments.HierarchyResult, error) {
 	return experiments.AblationHierarchy(seed)
 }
+
+// Scale-study result types.
+type (
+	// DispatchScaleResult is one dispatch-latency measurement.
+	DispatchScaleResult = experiments.DispatchScaleResult
+	// CookieChurnResult summarizes controller-state sizes over a churn run.
+	CookieChurnResult = experiments.CookieChurnResult
+)
+
+// RunDispatchScale measures the packet-in dispatch latency over the given
+// number of clusters, with parallel (default) or the paper's original
+// serial per-cluster state gathering.
+func RunDispatchScale(seed int64, clusters int, serial bool) experiments.DispatchScaleResult {
+	return experiments.DispatchScale(seed, clusters, serial)
+}
+
+// RunCookieChurn replays one-shot clients to show the controller's cookie,
+// client-location, and flow-memory state stays bounded by the idle
+// timeouts (peaks) and drains to zero afterwards (finals).
+func RunCookieChurn(seed int64, clients int) experiments.CookieChurnResult {
+	return experiments.CookieChurn(seed, clients)
+}

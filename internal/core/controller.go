@@ -39,6 +39,17 @@ type Config struct {
 	// Docker / Kubernetes API round trips of the paper's Python client
 	// libraries. Memory-served requests skip this entirely (§V).
 	StateQueryLatency time.Duration
+	// SerialStateQueries reproduces the paper's original dispatcher,
+	// which issued the per-cluster state queries one after another (total
+	// latency = sum over clusters). The default is false: queries run as
+	// concurrent sim processes and the charged latency is the maximum
+	// over clusters, keeping dispatch ~flat in the cluster count.
+	SerialStateQueries bool
+	// MaxDeployRecords caps the retained DeployRecords: once reached,
+	// the oldest record is evicted ring-buffer style, so long trace
+	// replays do not grow controller memory without bound. 0 keeps every
+	// record (the evaluation experiments read them all).
+	MaxDeployRecords int
 	// FlowPriority/PuntPriority order the redirect vs. packet-in rules.
 	FlowPriority int
 	PuntPriority int
@@ -108,17 +119,25 @@ type Controller struct {
 	probeHost *simnet.Host
 	switches  []*openflow.Switch
 	clusters  []clusterEntry
-	services  map[addrPort]*spec.Annotated
-	byName    map[string]*spec.Annotated
-	regByName map[string]spec.Registration
-	Memory    *FlowMemory
-	deploy    *deployer
-	records   []DeployRecord
-	clientLoc map[simnet.Addr]ClientLocation
-	cookies   map[switchFlowKey]uint64
-	cookieSeq uint64
-	predictor Predictor
-	Stats     Stats
+	// clusterIdx maps a cluster name to its clusters index (first
+	// registration wins), making name lookups and liveness checks O(1)
+	// on the packet-in hot path.
+	clusterIdx map[string]int
+	// allowedKinds is cfg.RuntimeClassKinds converted to sets at
+	// construction, so the per-request kind filter is a map probe.
+	allowedKinds map[string]map[string]bool
+	services     map[addrPort]*spec.Annotated
+	byName       map[string]*spec.Annotated
+	regByName    map[string]spec.Registration
+	Memory       *FlowMemory
+	deploy       *deployer
+	records      []DeployRecord
+	recHead      int // ring start once records is at MaxDeployRecords
+	clientLoc    map[simnet.Addr]ClientLocation
+	cookies      map[switchFlowKey]uint64
+	cookieSeq    uint64
+	predictor    Predictor
+	Stats        Stats
 }
 
 // ClientLocation is the dispatcher's record of where a client was last seen
@@ -154,14 +173,15 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 		cfg.PuntPriority = 50
 	}
 	c := &Controller{
-		k:         k,
-		cfg:       cfg,
-		probeHost: probeHost,
-		services:  make(map[addrPort]*spec.Annotated),
-		byName:    make(map[string]*spec.Annotated),
-		regByName: make(map[string]spec.Registration),
-		clientLoc: make(map[simnet.Addr]ClientLocation),
-		cookies:   make(map[switchFlowKey]uint64),
+		k:          k,
+		cfg:        cfg,
+		probeHost:  probeHost,
+		clusterIdx: make(map[string]int),
+		services:   make(map[addrPort]*spec.Annotated),
+		byName:     make(map[string]*spec.Annotated),
+		regByName:  make(map[string]spec.Registration),
+		clientLoc:  make(map[simnet.Addr]ClientLocation),
+		cookies:    make(map[switchFlowKey]uint64),
 	}
 	if c.cfg.RuntimeClassKinds == nil {
 		c.cfg.RuntimeClassKinds = map[string][]string{
@@ -169,8 +189,17 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 			"wasm": {"serverless"},
 		}
 	}
+	c.allowedKinds = make(map[string]map[string]bool, len(c.cfg.RuntimeClassKinds))
+	for class, kinds := range c.cfg.RuntimeClassKinds {
+		set := make(map[string]bool, len(kinds))
+		for _, kind := range kinds {
+			set[kind] = true
+		}
+		c.allowedKinds[class] = set
+	}
 	c.Memory = NewFlowMemory(k, cfg.MemoryIdleTimeout)
 	c.Memory.OnIdleInstance = c.onIdleInstance
+	c.Memory.OnIdleClient = c.onIdleClient
 	c.deploy = newDeployer(c)
 	return c
 }
@@ -197,6 +226,9 @@ func (c *Controller) AddSwitch(sw *openflow.Switch) {
 // AddCluster registers an edge cluster under a kind tag ("docker",
 // "kubernetes", ...) the schedulers can select on.
 func (c *Controller) AddCluster(cl cluster.Cluster, kind string) {
+	if _, dup := c.clusterIdx[cl.Name()]; !dup {
+		c.clusterIdx[cl.Name()] = len(c.clusters)
+	}
 	c.clusters = append(c.clusters, clusterEntry{c: cl, kind: kind})
 }
 
@@ -294,71 +326,121 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 	})
 }
 
-// HandleFlowRemoved implements openflow.Controller. Switch flows are
-// intentionally short-lived (the FlowMemory outlives them), so nothing
-// needs to happen here.
-func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, rule *openflow.FlowRule) {}
+// HandleFlowRemoved implements openflow.Controller: the controller-state
+// GC hook. The redirect / cloud-forward rules the controller installs ask
+// for flow-removed notifications, so when one idle-expires the cookie
+// bookkeeping for its client/service pair is released. A client whose last
+// memorized flow is also gone needs no location record anymore — the next
+// packet-in re-learns it — so cloud-forwarded clients (which never enter
+// the FlowMemory) are evicted here too.
+func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, rule *openflow.FlowRule) {
+	// Only the forward rule of a pair notifies; its match carries the
+	// original flow key (client -> VIP:port).
+	fk := FlowKey{Client: rule.Match.SrcIP, VIP: rule.Match.DstIP, Port: rule.Match.DstPort}
+	key := switchFlowKey{sw, fk}
+	if cookie, ok := c.cookies[key]; ok && cookie == rule.Cookie {
+		delete(c.cookies, key)
+	}
+	if c.Memory.ClientFlows(fk.Client) == 0 {
+		delete(c.clientLoc, fk.Client)
+	}
+}
+
+// onIdleClient is the FlowMemory callback: the client's last memorized
+// flow expired, so its location record is dropped (re-learned on the next
+// packet-in). Keeps clientLoc bounded by the set of active clients.
+func (c *Controller) onIdleClient(client simnet.Addr) {
+	delete(c.clientLoc, client)
+}
 
 func (c *Controller) instanceAlive(inst cluster.Instance) bool {
-	for _, e := range c.clusters {
-		if e.c.Name() != inst.Cluster {
-			continue
-		}
-		ep, ok := e.c.Endpoint(inst.Service)
-		return ok && ep.Addr == inst.Addr && ep.Port == inst.Port
+	i, ok := c.clusterIdx[inst.Cluster]
+	if !ok {
+		return false
 	}
-	return false
+	ep, ok := c.clusters[i].c.Endpoint(inst.Service)
+	return ok && ep.Addr == inst.Addr && ep.Port == inst.Port
 }
 
 func (c *Controller) clusterByName(name string) (cluster.Cluster, bool) {
-	for _, e := range c.clusters {
-		if e.c.Name() == name {
-			return e.c, true
-		}
+	i, ok := c.clusterIdx[name]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return c.clusters[i].c, true
 }
 
 // buildState gathers the fig. 7 inputs for the Global Scheduler, charging
-// the per-cluster state-query latency.
+// the per-cluster state-query latency. By default the queries run as
+// concurrent sim processes — one per candidate cluster, joined through
+// sim promises — so the charged latency is the maximum over clusters;
+// Config.SerialStateQueries restores the paper's one-after-another
+// behavior (latency = sum over clusters).
 func (c *Controller) buildState(p *sim.Proc, svc *spec.Annotated, client simnet.Addr) State {
 	st := State{Service: svc, ClientIP: client}
-	allowed := c.cfg.RuntimeClassKinds[svc.RuntimeClass]
+	allowed := c.allowedKinds[svc.RuntimeClass]
+	cands := make([]int, 0, len(c.clusters))
 	for i, e := range c.clusters {
-		if allowed != nil && !kindAllowed(e.kind, allowed) {
+		if allowed != nil && !allowed[e.kind] {
 			continue
 		}
-		if c.cfg.StateQueryLatency > 0 {
-			p.Sleep(c.cfg.StateQueryLatency)
-		}
-		info := ClusterInfo{
-			Cluster:   e.c,
-			Kind:      e.kind,
-			HasImages: e.c.HasImages(svc),
-			Exists:    e.c.Exists(svc.UniqueName),
-			Running:   e.c.Running(svc.UniqueName),
-		}
-		if ep, ok := e.c.Endpoint(svc.UniqueName); ok {
-			info.Endpoint = &ep
-			info.Load = c.Memory.InstanceFlows(ep)
-			if me, ok := e.c.(cluster.MultiEndpoint); ok {
-				info.Load = 0
-				for _, in := range me.Endpoints(svc.UniqueName) {
-					info.Load += c.Memory.InstanceFlows(in)
-				}
+		cands = append(cands, i)
+	}
+	if c.cfg.SerialStateQueries || len(cands) <= 1 {
+		for _, i := range cands {
+			if c.cfg.StateQueryLatency > 0 {
+				p.Sleep(c.cfg.StateQueryLatency)
 			}
+			st.Clusters = append(st.Clusters, c.queryCluster(i, svc, client))
 		}
-		if c.cfg.Distance != nil {
-			info.Distance = c.cfg.Distance(client, e.c)
-		} else {
-			info.Distance = i
+	} else {
+		prs := make([]*sim.Promise[ClusterInfo], len(cands))
+		for j, i := range cands {
+			i := i
+			prs[j] = sim.Async(c.k, "state:"+c.clusters[i].c.Name(), func(qp *sim.Proc) (ClusterInfo, error) {
+				if c.cfg.StateQueryLatency > 0 {
+					qp.Sleep(c.cfg.StateQueryLatency)
+				}
+				return c.queryCluster(i, svc, client), nil
+			})
 		}
-		st.Clusters = append(st.Clusters, info)
+		// Queries never fail (the latency models the API round trip);
+		// JoinAll preserves candidate order, keeping runs deterministic.
+		st.Clusters, _ = sim.JoinAll(p, prs)
 	}
 	sort.SliceStable(st.Clusters, func(i, j int) bool {
 		return st.Clusters[i].Distance < st.Clusters[j].Distance
 	})
 	return st
+}
+
+// queryCluster samples one cluster's deployment state for a request (the
+// body of a single fig. 7 state query).
+func (c *Controller) queryCluster(i int, svc *spec.Annotated, client simnet.Addr) ClusterInfo {
+	e := c.clusters[i]
+	info := ClusterInfo{
+		Cluster:   e.c,
+		Kind:      e.kind,
+		HasImages: e.c.HasImages(svc),
+		Exists:    e.c.Exists(svc.UniqueName),
+		Running:   e.c.Running(svc.UniqueName),
+	}
+	if ep, ok := e.c.Endpoint(svc.UniqueName); ok {
+		info.Endpoint = &ep
+		info.Load = c.Memory.InstanceFlows(ep)
+		if me, ok := e.c.(cluster.MultiEndpoint); ok {
+			info.Load = 0
+			for _, in := range me.Endpoints(svc.UniqueName) {
+				info.Load += c.Memory.InstanceFlows(in)
+			}
+		}
+	}
+	if c.cfg.Distance != nil {
+		info.Distance = c.cfg.Distance(client, e.c)
+	} else {
+		info.Distance = i
+	}
+	return info
 }
 
 func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annotated, fk FlowKey) {
@@ -374,8 +456,10 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 		c.installCloudForward(ev.Switch, fk)
 		ev.Switch.TableOut(ev.Packet)
 	} else {
-		needsDeploy := !choice.Fast.Running
-		inst, err := c.deploy.ensureRunning(p, choice.Fast.Cluster, svc)
+		// performed (not the pre-dedup Running bit of the scheduler
+		// state) decides the Deployments count: concurrent requests that
+		// joined one in-flight deployment must not double-count it.
+		inst, performed, err := c.deploy.ensureRunning(p, choice.Fast.Cluster, svc)
 		if err != nil {
 			// Deployment failed: degrade to cloud forwarding.
 			c.logf("%s: deployment on %s failed (%v); forwarding to cloud",
@@ -385,7 +469,7 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 			ev.Switch.TableOut(ev.Packet)
 			return
 		}
-		if needsDeploy {
+		if performed {
 			c.Stats.Deployments++
 		}
 		inst = c.pickInstance(choice.Fast.Cluster, fk.Client, inst)
@@ -400,12 +484,14 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 	if choice.Best != nil && (choice.Fast == nil || choice.Best.Cluster.Name() != choice.Fast.Cluster.Name()) {
 		best := choice.Best.Cluster
 		c.k.Go("deploy-best:"+svc.UniqueName, func(bp *sim.Proc) {
-			inst, err := c.deploy.ensureRunning(bp, best, svc)
+			inst, performed, err := c.deploy.ensureRunning(bp, best, svc)
 			if err != nil {
 				c.logf("%s: background deployment on %s failed: %v", svc.UniqueName, best.Name(), err)
 				return
 			}
-			c.Stats.Deployments++
+			if performed {
+				c.Stats.Deployments++
+			}
 			n := c.Memory.RedirectService(svc.UniqueName, inst)
 			c.Stats.Redirections += uint64(n)
 			c.logf("%s: optimal instance ready on %s (%s:%d); redirected %d flows",
@@ -414,17 +500,10 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 	}
 }
 
-func kindAllowed(kind string, allowed []string) bool {
-	for _, k := range allowed {
-		if k == kind {
-			return true
-		}
-	}
-	return false
-}
-
 // installRedirect installs the forward and reverse rewrite rules for one
 // client/service pair (fig. 2), replacing any previous pair for the key.
+// The forward rule requests a flow-removed notification so the cookie and
+// client-location bookkeeping is garbage-collected on idle expiry.
 func (c *Controller) installRedirect(sw *openflow.Switch, fk FlowKey, inst cluster.Instance) {
 	key := switchFlowKey{sw, fk}
 	if old, ok := c.cookies[key]; ok {
@@ -441,7 +520,8 @@ func (c *Controller) installRedirect(sw *openflow.Switch, fk FlowKey, inst clust
 			SetDstPort: inst.Port,
 			Output:     openflow.OutputNormal,
 		},
-		IdleTimeout: c.cfg.SwitchIdleTimeout,
+		IdleTimeout:   c.cfg.SwitchIdleTimeout,
+		NotifyRemoved: true,
 	})
 	sw.AddFlow(openflow.FlowRule{
 		Priority: c.cfg.FlowPriority,
@@ -466,11 +546,12 @@ func (c *Controller) installCloudForward(sw *openflow.Switch, fk FlowKey) {
 	cookie := c.nextCookie()
 	c.cookies[key] = cookie
 	sw.AddFlow(openflow.FlowRule{
-		Priority:    c.cfg.FlowPriority,
-		Cookie:      cookie,
-		Match:       openflow.Match{SrcIP: fk.Client, DstIP: fk.VIP, DstPort: fk.Port},
-		Actions:     openflow.Actions{Output: openflow.OutputNormal},
-		IdleTimeout: c.cfg.SwitchIdleTimeout,
+		Priority:      c.cfg.FlowPriority,
+		Cookie:        cookie,
+		Match:         openflow.Match{SrcIP: fk.Client, DstIP: fk.VIP, DstPort: fk.Port},
+		Actions:       openflow.Actions{Output: openflow.OutputNormal},
+		IdleTimeout:   c.cfg.SwitchIdleTimeout,
+		NotifyRemoved: true,
 	})
 }
 
@@ -488,12 +569,15 @@ func (c *Controller) nextCookie() uint64 {
 // client (round-robin, hashing, ...).
 type InstancePicker func(client simnet.Addr, insts []cluster.Instance) cluster.Instance
 
-// RoundRobinPicker returns a picker cycling through the instances in order.
+// RoundRobinPicker returns a picker cycling through the instances in
+// order, with an independent rotation per service: interleaved picks for
+// different services must not skew each other's distribution.
 func RoundRobinPicker() InstancePicker {
-	next := 0
+	next := make(map[string]int)
 	return func(client simnet.Addr, insts []cluster.Instance) cluster.Instance {
-		in := insts[next%len(insts)]
-		next++
+		svc := insts[0].Service
+		in := insts[next[svc]%len(insts)]
+		next[svc]++
 		return in
 	}
 }
@@ -560,7 +644,8 @@ func (c *Controller) EnsureDeployed(p *sim.Proc, clusterName, serviceName string
 	if !ok {
 		return cluster.Instance{}, fmt.Errorf("core: unknown service %q", serviceName)
 	}
-	return c.deploy.ensureRunning(p, cl, svc)
+	inst, _, err := c.deploy.ensureRunning(p, cl, svc)
+	return inst, err
 }
 
 // ScaleDownService scales a service down on one cluster.
@@ -582,20 +667,31 @@ func (c *Controller) RemoveService(p *sim.Proc, clusterName, serviceName string)
 	return cl.Remove(p, serviceName)
 }
 
+// addRecord appends a deployment record. With Config.MaxDeployRecords set,
+// the slice acts as a ring buffer: the oldest record is overwritten once
+// the cap is reached, bounding controller memory on long trace replays.
 func (c *Controller) addRecord(rec DeployRecord) {
+	if max := c.cfg.MaxDeployRecords; max > 0 && len(c.records) >= max {
+		c.records[c.recHead] = rec
+		c.recHead = (c.recHead + 1) % len(c.records)
+		return
+	}
 	c.records = append(c.records, rec)
 }
 
-// Records returns all deployment records so far.
+// Records returns the retained deployment records, oldest first.
 func (c *Controller) Records() []DeployRecord {
-	return append([]DeployRecord(nil), c.records...)
+	out := make([]DeployRecord, 0, len(c.records))
+	out = append(out, c.records[c.recHead:]...)
+	out = append(out, c.records[:c.recHead]...)
+	return out
 }
 
 // RecordsFor filters records by cluster name ("" = any) and service name
 // ("" = any), skipping failed deployments.
 func (c *Controller) RecordsFor(clusterName, serviceName string) []DeployRecord {
 	var out []DeployRecord
-	for _, r := range c.records {
+	for _, r := range c.Records() {
 		if r.Err != nil {
 			continue
 		}
@@ -611,7 +707,20 @@ func (c *Controller) RecordsFor(clusterName, serviceName string) []DeployRecord 
 }
 
 // ResetRecords clears the deployment records (between experiment runs).
-func (c *Controller) ResetRecords() { c.records = nil }
+func (c *Controller) ResetRecords() {
+	c.records = nil
+	c.recHead = 0
+}
+
+// CookieCount returns how many switch-flow cookies the controller tracks
+// (one per installed redirect / cloud-forward pair). Bounded: entries are
+// released when the forward rule idle-expires or is replaced.
+func (c *Controller) CookieCount() int { return len(c.cookies) }
+
+// TrackedClients returns how many client location records the dispatcher
+// holds. Bounded: a record is evicted when the client's last memorized
+// flow (or, for cloud-forwarded clients, its switch flow) expires.
+func (c *Controller) TrackedClients() int { return len(c.clientLoc) }
 
 // ErrNoCluster is returned when a scheduler picks no cluster and no cloud
 // path exists.

@@ -52,29 +52,36 @@ func newDeployer(c *Controller) *deployer {
 // ensureRunning drives the fig. 4 phases on cl until the service accepts
 // connections, recording phase timings. It blocks the calling process and
 // is safe to call concurrently (subsequent callers await the first run).
-func (d *deployer) ensureRunning(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cluster.Instance, error) {
+// performed reports whether THIS call executed at least one deployment
+// phase: callers that join an in-flight deployment, and calls that find
+// the service already running, get performed=false — that distinction
+// keeps Stats.Deployments an exact count of deployments actually run.
+func (d *deployer) ensureRunning(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (inst cluster.Instance, performed bool, err error) {
 	key := cl.Name() + "/" + svc.UniqueName
 	if pr, ok := d.pending[key]; ok {
-		return pr.Await(p)
+		inst, err = pr.Await(p)
+		return inst, false, err
 	}
 	pr := sim.NewPromise[cluster.Instance](d.ctrl.k)
 	d.pending[key] = pr
-	inst, err := d.run(p, cl, svc)
+	inst, performed, err = d.run(p, cl, svc)
+	// Clear the dedup slot before settling the promise so a failed
+	// deployment never wedges future retries behind a dead promise.
 	delete(d.pending, key)
 	if err != nil {
 		pr.Fail(err)
-		return cluster.Instance{}, err
+		return cluster.Instance{}, performed, err
 	}
 	pr.Resolve(inst)
-	return inst, nil
+	return inst, performed, nil
 }
 
-func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cluster.Instance, error) {
+func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cluster.Instance, bool, error) {
 	rec := DeployRecord{Service: svc.UniqueName, Cluster: cl.Name(), StartedAt: p.Now()}
-	fail := func(err error) (cluster.Instance, error) {
+	fail := func(err error) (cluster.Instance, bool, error) {
 		rec.Err = err
 		d.ctrl.addRecord(rec)
-		return cluster.Instance{}, err
+		return cluster.Instance{}, rec.DidPull || rec.DidCreate || rec.DidScaleUp, err
 	}
 
 	alreadyRunning := cl.Running(svc.UniqueName)
@@ -130,6 +137,7 @@ func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cl
 	}
 	if rec.DidPull || rec.DidCreate || rec.DidScaleUp {
 		d.ctrl.addRecord(rec)
+		return inst, true, nil
 	}
-	return inst, nil
+	return inst, false, nil
 }

@@ -34,14 +34,26 @@ type instanceKey struct {
 // longer idle timeout both removes stale flows and signals when a service
 // instance has become idle (no memorized flows left), enabling automatic
 // scale-down.
+//
+// Entries are indexed three ways so the controller's hot paths stay O(1):
+// by flow key (Get/Put), by instance endpoint (InstanceFlows, the load
+// signal), and by service name (RedirectService re-points only that
+// service's entries instead of walking the whole memory). A per-client
+// count additionally drives the dispatcher's location-record GC.
 type FlowMemory struct {
-	k       *sim.Kernel
-	idle    time.Duration
-	entries map[FlowKey]*MemEntry
-	perInst map[instanceKey]int
+	k          *sim.Kernel
+	idle       time.Duration
+	entries    map[FlowKey]*MemEntry
+	perInst    map[instanceKey]int
+	perService map[string]map[*MemEntry]struct{}
+	perClient  map[simnet.Addr]int
 	// OnIdleInstance, when set, is invoked (in kernel context) when the
 	// last memorized flow to an instance expires.
 	OnIdleInstance func(inst cluster.Instance)
+	// OnIdleClient, when set, is invoked (in kernel context) when a
+	// client's last memorized flow expires — the controller uses it to
+	// evict the client's location record.
+	OnIdleClient func(client simnet.Addr)
 	// Hits and Misses count lookups (diagnostics).
 	Hits, Misses uint64
 }
@@ -49,10 +61,12 @@ type FlowMemory struct {
 // NewFlowMemory creates a FlowMemory with the given idle timeout.
 func NewFlowMemory(k *sim.Kernel, idle time.Duration) *FlowMemory {
 	return &FlowMemory{
-		k:       k,
-		idle:    idle,
-		entries: make(map[FlowKey]*MemEntry),
-		perInst: make(map[instanceKey]int),
+		k:          k,
+		idle:       idle,
+		entries:    make(map[FlowKey]*MemEntry),
+		perInst:    make(map[instanceKey]int),
+		perService: make(map[string]map[*MemEntry]struct{}),
+		perClient:  make(map[simnet.Addr]int),
 	}
 }
 
@@ -62,6 +76,17 @@ func (m *FlowMemory) Len() int { return len(m.entries) }
 // InstanceFlows returns how many memorized flows point at the instance.
 func (m *FlowMemory) InstanceFlows(inst cluster.Instance) int {
 	return m.perInst[instanceKey{inst.Addr, inst.Port}]
+}
+
+// ClientFlows returns how many memorized flows a client currently has.
+func (m *FlowMemory) ClientFlows(client simnet.Addr) int {
+	return m.perClient[client]
+}
+
+// ServiceFlows returns how many memorized flows point at any instance of
+// the service.
+func (m *FlowMemory) ServiceFlows(service string) int {
+	return len(m.perService[service])
 }
 
 // Get returns the memorized instance for a key and refreshes its idle
@@ -80,30 +105,37 @@ func (m *FlowMemory) Get(key FlowKey) (cluster.Instance, bool) {
 // Put memorizes (or re-points) a flow.
 func (m *FlowMemory) Put(key FlowKey, inst cluster.Instance) {
 	if old, ok := m.entries[key]; ok {
+		m.detachService(old)
 		m.decInstance(old.Instance)
 		old.Instance = inst
 		old.LastUsed = m.k.Now()
+		m.attachService(old)
 		m.perInst[instanceKey{inst.Addr, inst.Port}]++
 		return
 	}
 	e := &MemEntry{Key: key, Instance: inst, LastUsed: m.k.Now()}
 	m.entries[key] = e
+	m.attachService(e)
 	m.perInst[instanceKey{inst.Addr, inst.Port}]++
+	m.perClient[key.Client]++
 	m.scheduleExpiry(e)
 }
 
 // RedirectService re-points every memorized flow of a service to a new
 // instance (fig. 3: once the optimal instance runs, future requests are
-// redirected there). It returns how many entries were re-pointed.
+// redirected there). It returns how many entries were re-pointed. The
+// per-service index makes this proportional to the service's own flows,
+// not the whole memory.
 func (m *FlowMemory) RedirectService(service string, to cluster.Instance) int {
 	n := 0
-	for _, e := range m.entries {
-		if e.Instance.Service == service && (e.Instance.Addr != to.Addr || e.Instance.Port != to.Port) {
-			m.decInstance(e.Instance)
-			e.Instance = to
-			m.perInst[instanceKey{to.Addr, to.Port}]++
-			n++
+	for e := range m.perService[service] {
+		if e.Instance.Addr == to.Addr && e.Instance.Port == to.Port {
+			continue
 		}
+		m.decInstance(e.Instance)
+		e.Instance = to
+		m.perInst[instanceKey{to.Addr, to.Port}]++
+		n++
 	}
 	return n
 }
@@ -135,7 +167,34 @@ func (m *FlowMemory) scheduleExpiry(e *MemEntry) {
 
 func (m *FlowMemory) remove(e *MemEntry) {
 	delete(m.entries, e.Key)
+	m.detachService(e)
 	m.decInstance(e.Instance)
+	m.perClient[e.Key.Client]--
+	if m.perClient[e.Key.Client] <= 0 {
+		delete(m.perClient, e.Key.Client)
+		if m.OnIdleClient != nil {
+			m.OnIdleClient(e.Key.Client)
+		}
+	}
+}
+
+func (m *FlowMemory) attachService(e *MemEntry) {
+	svc := e.Instance.Service
+	set := m.perService[svc]
+	if set == nil {
+		set = make(map[*MemEntry]struct{})
+		m.perService[svc] = set
+	}
+	set[e] = struct{}{}
+}
+
+func (m *FlowMemory) detachService(e *MemEntry) {
+	svc := e.Instance.Service
+	set := m.perService[svc]
+	delete(set, e)
+	if len(set) == 0 {
+		delete(m.perService, svc)
+	}
 }
 
 func (m *FlowMemory) decInstance(inst cluster.Instance) {

@@ -121,7 +121,7 @@ func (c *Controller) StartProactive(pred Predictor, interval, horizon time.Durat
 				}
 				c.Stats.ProactiveDeployments++
 				c.logf("%s: proactive deployment to %s (predicted demand)", name, target.Cluster.Name())
-				if _, err := c.deploy.ensureRunning(p, target.Cluster, svc); err != nil {
+				if _, _, err := c.deploy.ensureRunning(p, target.Cluster, svc); err != nil {
 					c.logf("%s: proactive deployment failed: %v", name, err)
 				}
 			}

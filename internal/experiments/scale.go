@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"transparentedge/internal/cluster"
+	"transparentedge/internal/core"
+	"transparentedge/internal/openflow"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+	"transparentedge/internal/spec"
+)
+
+// The scale experiments stress the dispatcher hot path beyond the paper's
+// two-cluster testbed: DispatchScale measures how the packet-in dispatch
+// latency grows with the number of registered edge clusters (parallel vs.
+// the paper's original serial state gathering), and CookieChurn replays a
+// large one-shot client population to show the controller's cookie /
+// client-location / flow-memory state stays bounded by the idle timeouts
+// rather than by the total client count.
+
+const scaleYAML = `
+spec:
+  template:
+    spec:
+      containers:
+      - name: web
+        image: web:1
+        ports:
+        - containerPort: 80
+`
+
+// stubCluster is a deliberately thin cluster.Cluster: state transitions are
+// instant, but its endpoint is a real simnet listener so the controller's
+// readiness probing and the clients' HTTP requests run over the simulated
+// network like they would against a full engine. This keeps 64-cluster and
+// 10k-client runs cheap while exercising the controller unchanged.
+type stubCluster struct {
+	name    string
+	host    *simnet.Host
+	port    int
+	exists  bool
+	running bool
+	lis     *simnet.Listener
+}
+
+func newStubCluster(n *simnet.Network, sw *openflow.Switch, name string, ip simnet.Addr, swPort int, link simnet.LinkConfig) *stubCluster {
+	h := simnet.NewHost(n, name, ip)
+	sw.AttachHost(h, swPort, link)
+	return &stubCluster{name: name, host: h, port: 32000}
+}
+
+func (s *stubCluster) Name() string                   { return s.name }
+func (s *stubCluster) Addr() simnet.Addr              { return s.host.IP() }
+func (s *stubCluster) HasImages(*spec.Annotated) bool { return true }
+func (s *stubCluster) Pull(*sim.Proc, *spec.Annotated) error {
+	return nil
+}
+func (s *stubCluster) Exists(string) bool  { return s.exists }
+func (s *stubCluster) Running(string) bool { return s.running }
+func (s *stubCluster) Create(p *sim.Proc, a *spec.Annotated) error {
+	s.exists = true
+	return nil
+}
+
+func (s *stubCluster) ScaleUp(p *sim.Proc, service string) (cluster.Instance, error) {
+	s.running = true
+	if s.lis == nil {
+		s.lis = s.host.ServeHTTP(s.port, cluster.Behavior{RespSize: simnet.KiB}.Handler())
+	}
+	return s.instance(service), nil
+}
+
+func (s *stubCluster) ScaleDown(p *sim.Proc, service string) error {
+	s.running = false
+	if s.lis != nil {
+		s.lis.Close()
+		s.lis = nil
+	}
+	return nil
+}
+
+func (s *stubCluster) Remove(p *sim.Proc, service string) error {
+	_ = s.ScaleDown(p, service)
+	s.exists = false
+	return nil
+}
+
+func (s *stubCluster) Endpoint(service string) (cluster.Instance, bool) {
+	if !s.running {
+		return cluster.Instance{}, false
+	}
+	return s.instance(service), true
+}
+
+func (s *stubCluster) Services() []string { return nil }
+
+func (s *stubCluster) instance(service string) cluster.Instance {
+	return cluster.Instance{Service: service, Cluster: s.name, Addr: s.host.IP(), Port: s.port}
+}
+
+// DispatchScaleResult reports one dispatch-latency measurement.
+type DispatchScaleResult struct {
+	Clusters int
+	Serial   bool
+	// Dispatch is the client-observed total of the first (cold-flow)
+	// request with the service already running on the nearest cluster, so
+	// it is dominated by the dispatcher's state gathering.
+	Dispatch time.Duration
+}
+
+// String renders the measurement.
+func (r DispatchScaleResult) String() string {
+	mode := "parallel"
+	if r.Serial {
+		mode = "serial"
+	}
+	return fmt.Sprintf("dispatch over %d clusters (%s state queries): %v", r.Clusters, mode, r.Dispatch)
+}
+
+// DispatchScale measures the packet-in dispatch latency with the given
+// number of registered clusters. The service is pre-deployed on the
+// nearest cluster, so the measured request pays punt + state gathering +
+// redirect install + the HTTP exchange — the state-gathering share is the
+// sum of per-cluster query latencies when serial, the max when parallel.
+func DispatchScale(seed int64, clusters int, serial bool) DispatchScaleResult {
+	if clusters < 1 {
+		clusters = 1
+	}
+	k := sim.New(seed)
+	n := simnet.NewNetwork(k)
+	sw := openflow.NewSwitch(n, "sw", openflow.DefaultConfig())
+	link := simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: simnet.Gbps}
+
+	egs := simnet.NewHost(n, "egs", "10.0.0.10")
+	sw.AttachHost(egs, 1, link)
+
+	cfg := core.DefaultConfig()
+	cfg.Scheduler = core.WaitNearestScheduler{}
+	cfg.SerialStateQueries = serial
+	ctrl := core.New(k, egs, cfg)
+	ctrl.AddSwitch(sw)
+
+	stubs := make([]*stubCluster, clusters)
+	for i := range stubs {
+		ip := simnet.Addr(fmt.Sprintf("10.0.%d.%d", 2+i/250, 1+i%250))
+		stubs[i] = newStubCluster(n, sw, fmt.Sprintf("edge%d", i), ip, 100+i, link)
+		ctrl.AddCluster(stubs[i], "docker")
+	}
+	svc, err := ctrl.RegisterService(scaleYAML, spec.Registration{
+		Domain: "web.example.com", VIP: "203.0.113.10", Port: 80,
+	})
+	if err != nil {
+		panic(err)
+	}
+	client := simnet.NewHost(n, "ue", "10.0.1.1")
+	sw.AttachHost(client, 2, link)
+
+	res := DispatchScaleResult{Clusters: clusters, Serial: serial}
+	k.Go("driver", func(p *sim.Proc) {
+		if _, err := ctrl.EnsureDeployed(p, stubs[0].Name(), svc.UniqueName); err != nil {
+			panic(err)
+		}
+		r, err := client.HTTPGet(p, "203.0.113.10", 80, &simnet.HTTPRequest{}, 0)
+		if err != nil {
+			panic(err)
+		}
+		res.Dispatch = r.Total
+	})
+	k.RunUntil(time.Hour)
+	return res
+}
+
+// CookieChurnResult reports the controller-state sizes over a one-shot
+// client churn run.
+type CookieChurnResult struct {
+	Clients int
+	// Peak sizes observed while the churn was in flight — bounded by the
+	// idle-timeout windows, not by Clients.
+	PeakCookies, PeakClientLocs, PeakMemory int
+	// Final sizes after all idle timeouts elapsed — the GC regression
+	// check; all three must be zero.
+	FinalCookies, FinalClientLocs, FinalMemory int
+}
+
+// String renders the churn summary.
+func (r CookieChurnResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cookie churn, %d one-shot clients\n", r.Clients)
+	fmt.Fprintf(&b, "%-12s %8s %8s\n", "state", "peak", "final")
+	fmt.Fprintf(&b, "%-12s %8d %8d\n", "cookies", r.PeakCookies, r.FinalCookies)
+	fmt.Fprintf(&b, "%-12s %8d %8d\n", "client locs", r.PeakClientLocs, r.FinalClientLocs)
+	fmt.Fprintf(&b, "%-12s %8d %8d\n", "flow memory", r.PeakMemory, r.FinalMemory)
+	return b.String()
+}
+
+// CookieChurn drives clients one-shot clients (each makes a single request
+// and never returns) through one switch and one edge cluster with short
+// idle timeouts, sampling the controller's cookie map, client-location map
+// and flow memory. Before the GC fixes these grew linearly with the client
+// count forever; now the peaks track the idle-timeout windows and the
+// final sizes return to zero.
+func CookieChurn(seed int64, clients int) CookieChurnResult {
+	if clients < 1 {
+		clients = 1
+	}
+	const spacing = 2 * time.Millisecond
+
+	k := sim.New(seed)
+	n := simnet.NewNetwork(k)
+	sw := openflow.NewSwitch(n, "sw", openflow.DefaultConfig())
+	link := simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: simnet.Gbps}
+
+	egs := simnet.NewHost(n, "egs", "10.0.0.10")
+	sw.AttachHost(egs, 1, link)
+
+	cfg := core.DefaultConfig()
+	cfg.Scheduler = core.WaitNearestScheduler{}
+	cfg.SwitchIdleTimeout = 500 * time.Millisecond
+	cfg.MemoryIdleTimeout = 2 * time.Second
+	ctrl := core.New(k, egs, cfg)
+	ctrl.AddSwitch(sw)
+	stub := newStubCluster(n, sw, "edge0", "10.0.0.20", 2, link)
+	ctrl.AddCluster(stub, "docker")
+	if _, err := ctrl.RegisterService(scaleYAML, spec.Registration{
+		Domain: "web.example.com", VIP: "203.0.113.10", Port: 80,
+	}); err != nil {
+		panic(err)
+	}
+
+	res := CookieChurnResult{Clients: clients}
+	for i := 0; i < clients; i++ {
+		h := simnet.NewHost(n, fmt.Sprintf("ue%d", i),
+			simnet.Addr(fmt.Sprintf("10.%d.%d.%d", 10+i/62500, (i/250)%250, 1+i%250)))
+		sw.AttachHost(h, 100+i, link)
+		delay := time.Duration(i) * spacing
+		k.Go("ue", func(p *sim.Proc) {
+			p.Sleep(delay)
+			if _, err := h.HTTPGet(p, "203.0.113.10", 80, &simnet.HTTPRequest{}, 0); err != nil {
+				panic(fmt.Sprintf("churn request: %v", err))
+			}
+		})
+	}
+	end := time.Duration(clients)*spacing + cfg.MemoryIdleTimeout + cfg.SwitchIdleTimeout + 10*time.Second
+	k.Go("sampler", func(p *sim.Proc) {
+		for p.Now() < sim.Time(end) {
+			if v := ctrl.CookieCount(); v > res.PeakCookies {
+				res.PeakCookies = v
+			}
+			if v := ctrl.TrackedClients(); v > res.PeakClientLocs {
+				res.PeakClientLocs = v
+			}
+			if v := ctrl.Memory.Len(); v > res.PeakMemory {
+				res.PeakMemory = v
+			}
+			p.Sleep(50 * time.Millisecond)
+		}
+	})
+	k.RunUntil(end + time.Second)
+	res.FinalCookies = ctrl.CookieCount()
+	res.FinalClientLocs = ctrl.TrackedClients()
+	res.FinalMemory = ctrl.Memory.Len()
+	return res
+}

@@ -1,0 +1,42 @@
+package sim
+
+// Fork-join helpers for fanning work out across concurrent processes in
+// virtual time. The canonical user is the controller's Dispatcher, which
+// issues its per-cluster state queries concurrently so the charged latency
+// is the maximum over clusters instead of the sum.
+
+// Async spawns fn as a new process and returns a Promise that resolves
+// with fn's result (or fails with its error) when the process finishes.
+// Spawn order determines execution order, so fan-outs stay deterministic.
+func Async[T any](k *Kernel, name string, fn func(p *Proc) (T, error)) *Promise[T] {
+	pr := NewPromise[T](k)
+	k.Go(name, func(p *Proc) {
+		v, err := fn(p)
+		if err != nil {
+			pr.Fail(err)
+			return
+		}
+		pr.Resolve(v)
+	})
+	return pr
+}
+
+// JoinAll blocks the process until every promise has settled and returns
+// the values in promise order. If any promise failed, the first error (in
+// slice order) is returned alongside the values gathered so far; the
+// remaining promises are still awaited, so no spawned work is orphaned.
+func JoinAll[T any](p *Proc, prs []*Promise[T]) ([]T, error) {
+	out := make([]T, len(prs))
+	var firstErr error
+	for i, pr := range prs {
+		v, err := pr.Await(p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[i] = v
+	}
+	return out, firstErr
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAsyncJoinAllParallelTime verifies the fork-join contract: N concurrent
+// sleeps cost max, not sum, of the individual durations.
+func TestAsyncJoinAllParallelTime(t *testing.T) {
+	k := New(1)
+	durations := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	var elapsed Time
+	var got []int
+	k.Go("join", func(p *Proc) {
+		prs := make([]*Promise[int], len(durations))
+		for i, d := range durations {
+			i, d := i, d
+			prs[i] = Async(k, "worker", func(wp *Proc) (int, error) {
+				wp.Sleep(d)
+				return i * 10, nil
+			})
+		}
+		vals, err := JoinAll(p, prs)
+		if err != nil {
+			t.Errorf("JoinAll: %v", err)
+		}
+		got = vals
+		elapsed = p.Now()
+	})
+	k.Run()
+	if elapsed != 30*time.Millisecond {
+		t.Errorf("join elapsed = %v, want 30ms (max, not 60ms sum)", elapsed)
+	}
+	want := []int{0, 10, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("vals = %v, want %v (promise order)", got, want)
+			break
+		}
+	}
+}
+
+// TestJoinAllFirstError checks that a failed branch surfaces its error while
+// the other branches are still awaited to completion.
+func TestJoinAllFirstError(t *testing.T) {
+	k := New(1)
+	boom := errors.New("boom")
+	slowDone := false
+	k.Go("join", func(p *Proc) {
+		prs := []*Promise[string]{
+			Async(k, "fail", func(wp *Proc) (string, error) {
+				wp.Sleep(time.Millisecond)
+				return "", boom
+			}),
+			Async(k, "slow", func(wp *Proc) (string, error) {
+				wp.Sleep(50 * time.Millisecond)
+				slowDone = true
+				return "ok", nil
+			}),
+		}
+		vals, err := JoinAll(p, prs)
+		if !errors.Is(err, boom) {
+			t.Errorf("err = %v, want boom", err)
+		}
+		if vals[1] != "ok" {
+			t.Errorf("vals[1] = %q, want ok (successful branches keep their values)", vals[1])
+		}
+		if p.Now() != 50*time.Millisecond {
+			t.Errorf("join returned at %v, want 50ms (waits for every branch)", p.Now())
+		}
+	})
+	k.Run()
+	if !slowDone {
+		t.Error("slow branch was orphaned")
+	}
+}
+
+// TestAsyncResolvedBeforeJoin exercises the already-settled path.
+func TestAsyncResolvedBeforeJoin(t *testing.T) {
+	k := New(1)
+	k.Go("join", func(p *Proc) {
+		pr := Async(k, "quick", func(wp *Proc) (int, error) { return 7, nil })
+		p.Sleep(time.Second) // quick settles long before the join
+		vals, err := JoinAll(p, []*Promise[int]{pr})
+		if err != nil || vals[0] != 7 {
+			t.Errorf("JoinAll = %v, %v; want [7], nil", vals, err)
+		}
+	})
+	k.Run()
+}
