@@ -2,12 +2,17 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench fuzz experiments examples clean
+.PHONY: all check fmt build vet test race bench fuzz experiments examples clean
 
 all: check
 
-# The full pre-merge gate: compile, static analysis, tests, race detector.
-check: build vet test race
+# The full pre-merge gate: formatting, compile, static analysis, tests,
+# race detector.
+check: fmt build vet test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -21,9 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Regenerate every table and figure of the paper (plus ablations).
+# Regenerate every table and figure of the paper (plus ablations) and the
+# scale benchmarks, recording machine-readable results. The replay-engine
+# sweep (10k/100k/1M requests) lands in BENCH_replay.json; everything else
+# in BENCH_all.json.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -json -bench 'BenchmarkReplayScale' -benchmem -benchtime 1x -run '^$$' . > BENCH_replay.json
+	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
 
 # Fuzz the YAML parser for a minute.
 fuzz:

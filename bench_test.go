@@ -306,6 +306,32 @@ func BenchmarkScale_LargeTrace(b *testing.B) {
 	}
 }
 
+// replayScale runs one event-driven large-trace replay per iteration and
+// reports the engine's cost metrics: wall time (ns/op), allocations per
+// trace request, and bytes retained by the result series. The 1M run is
+// only possible with event-driven arrivals — the legacy strategy would
+// stand up a million goroutines before the first event fires.
+func replayScale(b *testing.B, requests int) {
+	b.ReportAllocs()
+	var res edge.ReplayScaleResult
+	for i := 0; i < b.N; i++ {
+		res = edge.RunReplayScale(benchSeed, requests, true)
+		if res.Deployments != 8 {
+			b.Fatalf("deployments = %d, want 8", res.Deployments)
+		}
+	}
+	b.ReportMetric(res.AllocsPerRequest, "allocs/request")
+	b.ReportMetric(float64(res.SeriesBytes), "series_bytes")
+	b.ReportMetric(ms(res.Median), "median_ms")
+	b.Logf("\n%s", res.String())
+}
+
+// BenchmarkReplayScale_10k..1M sweep the replay engine across trace sizes;
+// allocs/request and series_bytes must stay ~flat from 10k to 1M.
+func BenchmarkReplayScale_10k(b *testing.B)  { replayScale(b, 10_000) }
+func BenchmarkReplayScale_100k(b *testing.B) { replayScale(b, 100_000) }
+func BenchmarkReplayScale_1M(b *testing.B)   { replayScale(b, 1_000_000) }
+
 // BenchmarkDispatch_StateQueries measures the dispatcher's packet-in
 // latency as the cluster count grows, for both state-gathering modes: the
 // parallel default stays ~flat (charged latency = max over clusters) while

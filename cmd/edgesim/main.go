@@ -26,6 +26,9 @@ var (
 	clusters = flag.Int("clusters", 16, "edge cluster count for scale-dispatch")
 	clients  = flag.Int("clients", 2000, "one-shot client count for scale-churn")
 	serial   = flag.Bool("serial", false, "scale-dispatch: serial per-cluster state queries (the paper's original dispatcher)")
+
+	replayRequests = flag.Int("replay-requests", 10000, "trace length for scale-replay")
+	goroutines     = flag.Bool("goroutines", false, "scale-replay: legacy goroutine-per-request arrivals instead of event-driven")
 )
 
 func printTable(t interface {
@@ -76,6 +79,7 @@ Experiments (each reproduces one table/figure of the paper):
   ablation-hierarchy fig. 3: cold vs far-warm vs near-warm first request
   scale-dispatch    dispatch latency vs cluster count (-clusters, -serial)
   scale-churn       controller-state bounds under client churn (-clients)
+  scale-replay      large-trace replay cost (-replay-requests, -goroutines)
   all      run everything
 
 Flags:
@@ -88,7 +92,7 @@ func run(which string) error {
 		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
 			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
-			"scale-dispatch", "scale-churn"} {
+			"scale-dispatch", "scale-churn", "scale-replay"} {
 			if err := run(w); err != nil {
 				return fmt.Errorf("%s: %w", w, err)
 			}
@@ -200,6 +204,12 @@ func run(which string) error {
 		}
 	case "scale-churn":
 		fmt.Print(edge.RunCookieChurn(*seed, *clients).String())
+	case "scale-replay":
+		fmt.Print(edge.RunReplayScale(*seed, *replayRequests, !*goroutines).String())
+		if !*goroutines && *replayRequests <= 100000 {
+			// Show the legacy engine for comparison while it is feasible.
+			fmt.Print(edge.RunReplayScale(*seed, *replayRequests, false).String())
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", which)
 	}

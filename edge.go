@@ -163,6 +163,16 @@ func ReplayTrace(tb *Testbed, tr *Trace, serviceKey string, prePull, preCreate b
 	return workload.Replay(tb, tr, serviceKey, prePull, preCreate)
 }
 
+// ReplayOptions configures a replay run: warm-up conditions, the arrival
+// scheduling strategy (event-driven by default), the in-flight cap, the
+// exact-vs-histogram metrics threshold, and the per-request timeout.
+type ReplayOptions = workload.Options
+
+// ReplayTraceWith replays a trace with explicit ReplayOptions.
+func ReplayTraceWith(tb *Testbed, tr *Trace, serviceKey string, opts ReplayOptions) (*ReplayResult, error) {
+	return workload.ReplayWith(tb, tr, serviceKey, opts)
+}
+
 // Metrics types.
 type (
 	// Series is a latency sample collection with medians/percentiles.
@@ -250,6 +260,8 @@ type (
 	DispatchScaleResult = experiments.DispatchScaleResult
 	// CookieChurnResult summarizes controller-state sizes over a churn run.
 	CookieChurnResult = experiments.CookieChurnResult
+	// ReplayScaleResult summarizes one large-trace replay measurement.
+	ReplayScaleResult = experiments.ReplayScaleResult
 )
 
 // RunDispatchScale measures the packet-in dispatch latency over the given
@@ -264,4 +276,12 @@ func RunDispatchScale(seed int64, clusters int, serial bool) experiments.Dispatc
 // timeouts (peaks) and drains to zero afterwards (finals).
 func RunCookieChurn(seed int64, clients int) experiments.CookieChurnResult {
 	return experiments.CookieChurn(seed, clients)
+}
+
+// RunReplayScale replays a synthetic trace of the given length against the
+// Docker testbed, measuring wall time, allocations per request, and
+// retained series memory. eventDriven selects the arrival engine (false =
+// the legacy goroutine-per-request strategy, for comparison).
+func RunReplayScale(seed int64, requests int, eventDriven bool) experiments.ReplayScaleResult {
+	return experiments.ReplayScale(seed, requests, eventDriven)
 }

@@ -42,8 +42,8 @@ type hpCluster struct {
 	scaleUps     int
 }
 
-func (f *hpCluster) Name() string              { return f.name }
-func (f *hpCluster) Addr() simnet.Addr         { return f.host.IP() }
+func (f *hpCluster) Name() string                   { return f.name }
+func (f *hpCluster) Addr() simnet.Addr              { return f.host.IP() }
 func (f *hpCluster) HasImages(*spec.Annotated) bool { return f.images }
 func (f *hpCluster) Pull(p *sim.Proc, a *spec.Annotated) error {
 	f.images = true

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Log-bucketed histogram parameters. Each power-of-two octave is split into
+// histSubBuckets linear sub-buckets, bounding the relative quantile error by
+// 1/histSubBuckets (~1.6%) while keeping the whole histogram a few KiB
+// regardless of sample count.
+const (
+	histSubBits    = 6
+	histSubBuckets = 1 << histSubBits
+)
+
+// Hist is a fixed-memory log-bucketed duration histogram: Add is O(1), the
+// footprint is bounded by the value range (not the sample count), and
+// Median/Percentile are drop-in compatible with Series at ≤1.6% relative
+// error. Count, sum, min and max are tracked exactly, so Len/Min/Max/Mean/
+// Stddev match Series precisely; only the quantiles are approximate.
+type Hist struct {
+	Name   string
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+	sumsq  float64
+}
+
+// NewHist returns an empty named histogram.
+func NewHist(name string) *Hist { return &Hist{Name: name} }
+
+// histIndex maps a duration to its bucket: values below histSubBuckets get
+// exact unit buckets; above, the bucket keys on the exponent and the top
+// histSubBits mantissa bits.
+func histIndex(v time.Duration) int {
+	if v <= 0 {
+		return 0
+	}
+	uv := uint64(v)
+	e := bits.Len64(uv) - 1
+	if e < histSubBits {
+		return int(uv)
+	}
+	m := (uv >> (uint(e) - histSubBits)) - histSubBuckets
+	return int((uint64(e)-histSubBits+1)<<histSubBits + m)
+}
+
+// histLower returns the smallest duration mapping to bucket idx.
+func histLower(idx int) time.Duration {
+	if idx < histSubBuckets {
+		return time.Duration(idx)
+	}
+	e := histSubBits + (idx>>histSubBits - 1)
+	m := idx & (histSubBuckets - 1)
+	return time.Duration((uint64(histSubBuckets) + uint64(m)) << uint(e-histSubBits))
+}
+
+// histWidth returns the number of distinct durations mapping to bucket idx.
+func histWidth(idx int) time.Duration {
+	if idx < histSubBuckets {
+		return 1
+	}
+	return time.Duration(uint64(1) << uint(idx>>histSubBits-1))
+}
+
+// Add records one sample. The timestamp is accepted for Series
+// compatibility but not retained: a histogram has no per-sample memory.
+func (h *Hist) Add(at, value time.Duration) {
+	_ = at
+	idx := histIndex(value)
+	if idx >= len(h.counts) {
+		grown := make([]uint64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	if h.total == 0 || value < h.min {
+		h.min = value
+	}
+	if value > h.max {
+		h.max = value
+	}
+	h.total++
+	h.sum += value
+	f := float64(value)
+	h.sumsq += f * f
+}
+
+// Len returns the number of recorded samples.
+func (h *Hist) Len() int { return int(h.total) }
+
+// Min returns the smallest sample value (0 when empty).
+func (h *Hist) Min() time.Duration { return h.min }
+
+// Max returns the largest sample value (0 when empty).
+func (h *Hist) Max() time.Duration { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Stddev returns the population standard deviation.
+func (h *Hist) Stddev() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	mean := float64(h.sum) / float64(h.total)
+	v := h.sumsq/float64(h.total) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return time.Duration(math.Sqrt(v))
+}
+
+// Median returns the approximate median (0 when empty).
+func (h *Hist) Median() time.Duration { return h.Percentile(50) }
+
+// Percentile returns the approximate p-th percentile using the same
+// fractional-rank convention as Series, linearly interpolated within the
+// containing bucket and clamped to [Min, Max]. p must be in [0,100].
+func (h *Hist) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	target := p / 100 * float64(h.total-1)
+	var cum float64
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc > target {
+			v := histLower(idx)
+			if w := histWidth(idx); w > 1 {
+				frac := (target - cum + 0.5) / fc
+				v += time.Duration(frac * float64(w))
+			}
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += fc
+	}
+	return h.max
+}
+
+// RetainedBytes reports the histogram's approximate memory footprint.
+func (h *Hist) RetainedBytes() int {
+	return len(h.counts)*8 + 64
+}

@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistSmallValuesExact(t *testing.T) {
+	// Values below histSubBuckets land in unit buckets, so quantiles over
+	// small integers are exact.
+	h := NewHist("x")
+	for _, v := range []int{30, 10, 20} {
+		h.Add(0, time.Duration(v))
+	}
+	if got := h.Median(); got != 20 {
+		t.Fatalf("Median = %v, want 20", got)
+	}
+	if h.Min() != 10 || h.Max() != 30 || h.Len() != 3 {
+		t.Fatalf("min/max/len = %v/%v/%d", h.Min(), h.Max(), h.Len())
+	}
+}
+
+func TestHistExactStatsMatchSeries(t *testing.T) {
+	// Len/Min/Max/Mean/Stddev are tracked exactly and must equal the
+	// unbucketed Series values bit-for-bit.
+	rng := rand.New(rand.NewSource(7))
+	s := NewSeries("x")
+	h := NewHist("x")
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Intn(int(3 * time.Second)))
+		s.Add(0, v)
+		h.Add(0, v)
+	}
+	if s.Len() != h.Len() || s.Min() != h.Min() || s.Max() != h.Max() {
+		t.Fatalf("len/min/max mismatch: series %d/%v/%v hist %d/%v/%v",
+			s.Len(), s.Min(), s.Max(), h.Len(), h.Min(), h.Max())
+	}
+	if s.Mean() != h.Mean() {
+		t.Fatalf("Mean: series %v hist %v", s.Mean(), h.Mean())
+	}
+	if d := s.Stddev() - h.Stddev(); d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("Stddev: series %v hist %v", s.Stddev(), h.Stddev())
+	}
+}
+
+func TestHistQuantileError(t *testing.T) {
+	// Bucketed quantiles must stay within the 1/histSubBuckets relative
+	// error bound of the exact Series quantiles.
+	rng := rand.New(rand.NewSource(42))
+	s := NewSeries("x")
+	h := NewHist("x")
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~5 decades to exercise many octaves.
+		v := time.Duration(float64(time.Microsecond) *
+			math.Pow(10, rng.Float64()*5))
+		s.Add(0, v)
+		h.Add(0, v)
+	}
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9} {
+		exact := float64(s.Percentile(p))
+		approx := float64(h.Percentile(p))
+		if exact == 0 {
+			continue
+		}
+		rel := (approx - exact) / exact
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 1.0/histSubBuckets {
+			t.Errorf("P%v: exact %v approx %v rel err %.4f > %.4f",
+				p, time.Duration(exact), time.Duration(approx),
+				rel, 1.0/histSubBuckets)
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist("x")
+	if h.Median() != 0 || h.Len() != 0 || h.Mean() != 0 || h.Stddev() != 0 {
+		t.Fatal("empty hist summary stats should all be 0")
+	}
+}
+
+func TestHistPercentileOutOfRangePanics(t *testing.T) {
+	h := NewHist("x")
+	h.Add(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(-1) did not panic")
+		}
+	}()
+	h.Percentile(-1)
+}
+
+func TestHistNonPositiveValues(t *testing.T) {
+	h := NewHist("x")
+	h.Add(0, -5*time.Millisecond)
+	h.Add(0, 0)
+	h.Add(0, time.Millisecond)
+	if h.Min() != -5*time.Millisecond {
+		t.Fatalf("Min = %v, want -5ms", h.Min())
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	// Quantiles are clamped to [min, max], so nothing can escape the range.
+	if p := h.Percentile(0); p < h.Min() || p > h.Max() {
+		t.Fatalf("P0 = %v outside [%v, %v]", p, h.Min(), h.Max())
+	}
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every value must land in the bucket whose [lower, lower+width) range
+	// contains it.
+	vals := []time.Duration{1, 63, 64, 65, 127, 128, 129, 1000,
+		time.Microsecond, time.Millisecond, time.Second, time.Hour}
+	for _, v := range vals {
+		idx := histIndex(v)
+		lo := histLower(idx)
+		hi := lo + histWidth(idx)
+		if v < lo || v >= hi {
+			t.Errorf("histIndex(%d) = %d with range [%d, %d): value outside",
+				v, idx, lo, hi)
+		}
+	}
+}
+
+func TestHistRetainedBytesBounded(t *testing.T) {
+	h := NewHist("x")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Add(0, time.Duration(rng.Intn(int(10*time.Second))))
+	}
+	// 100k samples over 10s fit in a few hundred buckets — the footprint
+	// must be KBs, not MBs (a raw Series would hold 1.6 MB).
+	if got := h.RetainedBytes(); got > 64*1024 {
+		t.Fatalf("RetainedBytes = %d, want < 64KiB", got)
+	}
+}
+
+func TestHistQuickPercentileInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHist("q")
+		for _, v := range raw {
+			h.Add(0, time.Duration(v)*time.Microsecond)
+		}
+		med := h.Median()
+		if med < h.Min() || med > h.Max() {
+			return false
+		}
+		prev := time.Duration(-1) << 40
+		for p := 0.0; p <= 100; p += 10 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedSeriesFoldsAtThreshold(t *testing.T) {
+	s := NewBoundedSeries("x", 100)
+	for i := 1; i <= 100; i++ {
+		s.Add(0, ms(i))
+	}
+	if !s.Exact() {
+		t.Fatal("series folded at threshold, want fold only beyond it")
+	}
+	s.Add(0, ms(101))
+	if s.Exact() {
+		t.Fatal("series did not fold beyond threshold")
+	}
+	if s.Len() != 101 {
+		t.Fatalf("Len = %d, want 101", s.Len())
+	}
+	if s.Samples() != nil || s.Values() != nil {
+		t.Fatal("folded series should return nil raw samples")
+	}
+	// Summary stats survive the fold.
+	if s.Min() != ms(1) || s.Max() != ms(101) || s.Mean() != ms(51) {
+		t.Fatalf("min/max/mean after fold = %v/%v/%v", s.Min(), s.Max(), s.Mean())
+	}
+	med := s.Median()
+	if med < ms(50) || med > ms(52) {
+		t.Fatalf("Median after fold = %v, want ~51ms", med)
+	}
+}
+
+func TestBoundedSeriesMatchesExactWithinError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	exact := NewSeries("x")
+	bounded := NewBoundedSeries("x", 1000)
+	for i := 0; i < 50000; i++ {
+		v := time.Duration(rng.Intn(int(2 * time.Second)))
+		exact.Add(0, v)
+		bounded.Add(0, v)
+	}
+	for _, p := range []float64{50, 95, 99} {
+		e := float64(exact.Percentile(p))
+		b := float64(bounded.Percentile(p))
+		rel := (b - e) / e
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 1.0/histSubBuckets {
+			t.Errorf("P%v: exact %v bounded %v rel err %.4f", p,
+				time.Duration(e), time.Duration(b), rel)
+		}
+	}
+}
+
+func TestBoundedSeriesRetainedBytes(t *testing.T) {
+	bounded := NewBoundedSeries("x", 1000)
+	exact := NewSeries("x")
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100000; i++ {
+		v := time.Duration(rng.Intn(int(time.Second)))
+		bounded.Add(0, v)
+		exact.Add(0, v)
+	}
+	if bounded.RetainedBytes() >= exact.RetainedBytes()/10 {
+		t.Fatalf("bounded retains %d bytes, exact %d — want >10x reduction",
+			bounded.RetainedBytes(), exact.RetainedBytes())
+	}
+}
+
+func TestSortedMemoizedAndInvalidated(t *testing.T) {
+	// Interleaved Add/Percentile: every Percentile after an Add must see the
+	// new sample, and repeated Percentile calls must reuse the cached slice.
+	s := NewSeries("x")
+	s.Add(0, ms(30))
+	s.Add(0, ms(10))
+	if got := s.Median(); got != ms(20) {
+		t.Fatalf("Median = %v, want 20ms", got)
+	}
+	first := s.sorted()
+	second := s.sorted()
+	if &first[0] != &second[0] {
+		t.Fatal("sorted() not memoized between Adds")
+	}
+	s.Add(0, ms(20)) // invalidates the cache
+	if got := s.Median(); got != ms(20) {
+		t.Fatalf("Median after Add = %v, want 20ms", got)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	s.Add(0, ms(40))
+	if got := s.Percentile(100); got != ms(40) {
+		t.Fatalf("P100 after Add = %v, want 40ms — stale cache?", got)
+	}
+}

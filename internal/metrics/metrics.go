@@ -19,31 +19,86 @@ type Sample struct {
 }
 
 // Series is an append-only collection of samples with summary statistics.
+//
+// A series built with NewSeries retains every sample exactly. A series
+// built with NewBoundedSeries folds into a fixed-memory log-bucketed Hist
+// once the sample count exceeds its threshold: summary statistics stay
+// available (quantiles become ≤1.6%-error approximations; Len/Min/Max/Mean/
+// Stddev remain exact) while memory stops growing with the sample count —
+// the mode million-request replays run in.
 type Series struct {
 	Name    string
 	samples []Sample
+	// sortedCache memoizes sorted() between Adds so repeated Percentile/
+	// Median calls on a frozen series cost one sort total.
+	sortedCache []time.Duration
+	maxExact    int   // >0: fold into hist once len(samples) exceeds it
+	hist        *Hist // non-nil once folded
 }
 
-// NewSeries returns an empty named series.
+// NewSeries returns an empty named series that retains every sample.
 func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// NewBoundedSeries returns an empty named series that retains at most
+// maxExact samples exactly and degrades to a log-bucketed histogram beyond
+// that. maxExact <= 0 means unbounded (identical to NewSeries).
+func NewBoundedSeries(name string, maxExact int) *Series {
+	return &Series{Name: name, maxExact: maxExact}
+}
+
+// Exact reports whether the series still retains every sample (false once a
+// bounded series has folded into histogram mode).
+func (s *Series) Exact() bool { return s.hist == nil }
 
 // Add records a sample.
 func (s *Series) Add(at, value time.Duration) {
+	s.sortedCache = nil
+	if s.hist != nil {
+		s.hist.Add(at, value)
+		return
+	}
 	s.samples = append(s.samples, Sample{At: at, Value: value})
+	if s.maxExact > 0 && len(s.samples) > s.maxExact {
+		s.fold()
+	}
+}
+
+// fold moves the retained samples into a histogram and drops them.
+func (s *Series) fold() {
+	h := NewHist(s.Name)
+	for _, smp := range s.samples {
+		h.Add(smp.At, smp.Value)
+	}
+	s.hist = h
+	s.samples = nil
 }
 
 // Len returns the number of samples.
-func (s *Series) Len() int { return len(s.samples) }
+func (s *Series) Len() int {
+	if s.hist != nil {
+		return s.hist.Len()
+	}
+	return len(s.samples)
+}
 
-// Samples returns a copy of the recorded samples in insertion order.
+// Samples returns a copy of the recorded samples in insertion order. In
+// histogram mode the raw samples are no longer retained and Samples
+// returns nil.
 func (s *Series) Samples() []Sample {
+	if s.hist != nil {
+		return nil
+	}
 	out := make([]Sample, len(s.samples))
 	copy(out, s.samples)
 	return out
 }
 
-// Values returns the sample values in insertion order.
+// Values returns the sample values in insertion order (nil in histogram
+// mode; see Samples).
 func (s *Series) Values() []time.Duration {
+	if s.hist != nil {
+		return nil
+	}
 	out := make([]time.Duration, len(s.samples))
 	for i, smp := range s.samples {
 		out[i] = smp.Value
@@ -52,17 +107,23 @@ func (s *Series) Values() []time.Duration {
 }
 
 func (s *Series) sorted() []time.Duration {
-	vals := s.Values()
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	return vals
+	if s.sortedCache == nil {
+		vals := s.Values()
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s.sortedCache = vals
+	}
+	return s.sortedCache
 }
 
 // Median returns the median sample value (0 for an empty series).
 func (s *Series) Median() time.Duration { return s.Percentile(50) }
 
 // Percentile returns the p-th percentile (nearest-rank with linear
-// interpolation). p must be in [0,100].
+// interpolation; approximate in histogram mode). p must be in [0,100].
 func (s *Series) Percentile(p float64) time.Duration {
+	if s.hist != nil {
+		return s.hist.Percentile(p)
+	}
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -85,6 +146,9 @@ func (s *Series) Percentile(p float64) time.Duration {
 
 // Min returns the smallest sample value (0 for an empty series).
 func (s *Series) Min() time.Duration {
+	if s.hist != nil {
+		return s.hist.Min()
+	}
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -99,6 +163,9 @@ func (s *Series) Min() time.Duration {
 
 // Max returns the largest sample value (0 for an empty series).
 func (s *Series) Max() time.Duration {
+	if s.hist != nil {
+		return s.hist.Max()
+	}
 	var max time.Duration
 	for _, smp := range s.samples {
 		if smp.Value > max {
@@ -110,6 +177,9 @@ func (s *Series) Max() time.Duration {
 
 // Mean returns the arithmetic mean (0 for an empty series).
 func (s *Series) Mean() time.Duration {
+	if s.hist != nil {
+		return s.hist.Mean()
+	}
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -122,6 +192,9 @@ func (s *Series) Mean() time.Duration {
 
 // Stddev returns the population standard deviation.
 func (s *Series) Stddev() time.Duration {
+	if s.hist != nil {
+		return s.hist.Stddev()
+	}
 	n := len(s.samples)
 	if n == 0 {
 		return 0
@@ -133,6 +206,16 @@ func (s *Series) Stddev() time.Duration {
 		acc += d * d
 	}
 	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// RetainedBytes reports the approximate memory retained by the series —
+// proportional to the sample count in exact mode, fixed in histogram mode.
+func (s *Series) RetainedBytes() int {
+	if s.hist != nil {
+		return s.hist.RetainedBytes()
+	}
+	const sampleSize = 16 // two int64 fields
+	return cap(s.samples)*sampleSize + cap(s.sortedCache)*8
 }
 
 // Histogram buckets samples-per-interval over the observation window,

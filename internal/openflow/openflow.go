@@ -308,7 +308,7 @@ func (s *Switch) AddFlow(rule FlowRule) *FlowRule {
 	}
 	if r.HardTimeout > 0 {
 		rp := &r
-		s.net.K.After(r.HardTimeout, func() { s.expire(rp) })
+		s.net.K.AfterFree(r.HardTimeout, func() { s.expire(rp) })
 	}
 	return &r
 }
@@ -335,7 +335,7 @@ func (s *Switch) expire(r *FlowRule) {
 	s.removeRule(r)
 	if r.NotifyRemoved && s.controller != nil {
 		r := r
-		s.net.K.After(s.cfg.ControllerLatency, func() {
+		s.net.K.AfterFree(s.cfg.ControllerLatency, func() {
 			s.controller.HandleFlowRemoved(s, r)
 		})
 	}
@@ -417,7 +417,7 @@ func (s *Switch) HandlePacket(in *simnet.Port, pkt *simnet.Packet) {
 	inPort := s.portOf[in]
 	deliver := func() { s.process(inPort, pkt) }
 	if s.cfg.FwdDelay > 0 {
-		s.net.K.After(s.cfg.FwdDelay, deliver)
+		s.net.K.AfterFree(s.cfg.FwdDelay, deliver)
 		return
 	}
 	deliver()
@@ -448,7 +448,7 @@ func (s *Switch) output(a Actions, inPort int, pkt *simnet.Packet) {
 			return
 		}
 		ev := PacketIn{Switch: s, InPort: inPort, Packet: pkt}
-		s.net.K.After(s.cfg.ControllerLatency, func() {
+		s.net.K.AfterFree(s.cfg.ControllerLatency, func() {
 			s.controller.HandlePacketIn(ev)
 		})
 	case OutputNormal:
@@ -470,7 +470,7 @@ func (s *Switch) output(a Actions, inPort int, pkt *simnet.Packet) {
 // directly (OFPT_PACKET_OUT with an action list). Use OutputNormal in a to
 // route by destination, or run it through the table with TableOut.
 func (s *Switch) PacketOut(pkt *simnet.Packet, a Actions) {
-	s.net.K.After(s.cfg.ControllerLatency, func() {
+	s.net.K.AfterFree(s.cfg.ControllerLatency, func() {
 		a.apply(pkt)
 		s.output(a, -1, pkt)
 	})
@@ -480,7 +480,7 @@ func (s *Switch) PacketOut(pkt *simnet.Packet, a Actions) {
 // flow table — the OFPP_TABLE output of packet-out, which the paper's
 // controller uses to release a held request after installing its flows.
 func (s *Switch) TableOut(pkt *simnet.Packet) {
-	s.net.K.After(s.cfg.ControllerLatency, func() {
+	s.net.K.AfterFree(s.cfg.ControllerLatency, func() {
 		s.process(-1, pkt)
 	})
 }

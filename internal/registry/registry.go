@@ -103,6 +103,12 @@ func (s *Server) Add(img Image) {
 	}
 }
 
+// Remove unpublishes an image ref; subsequent manifest requests 404. Blobs
+// are left in place: layers may be shared with other images.
+func (s *Server) Remove(ref string) {
+	delete(s.images, ref)
+}
+
 // Images returns the published image refs (sorted, diagnostic).
 func (s *Server) Images() []string {
 	refs := make([]string, 0, len(s.images))

@@ -67,3 +67,60 @@ func BenchmarkChanPingPong(b *testing.B) {
 	b.ResetTimer()
 	k.Run()
 }
+
+// BenchmarkKernelAfterFree measures the pooled fire-and-forget path used by
+// process wake-ups and packet deliveries (steady state: zero allocations).
+func BenchmarkKernelAfterFree(b *testing.B) {
+	k := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AfterFree(time.Microsecond, func() {})
+		k.Step()
+	}
+}
+
+// BenchmarkKernelDefer measures the zero-delay immediate queue.
+func BenchmarkKernelDefer(b *testing.B) {
+	k := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Defer(func() {})
+		k.Step()
+	}
+}
+
+// BenchmarkKernelAtBatch measures scheduling a whole monotone arrival
+// schedule (one trace) and draining it, versus per-event heap pushes.
+func BenchmarkKernelAtBatch(b *testing.B) {
+	times := make([]Time, 100000)
+	for i := range times {
+		times[i] = time.Duration(i) * time.Microsecond
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		k.AtBatch(times, func(int) {})
+		k.Run()
+	}
+}
+
+// BenchmarkKernelHeapSchedule is the baseline for BenchmarkKernelAtBatch:
+// the same monotone schedule through individual heap events.
+func BenchmarkKernelHeapSchedule(b *testing.B) {
+	times := make([]Time, 100000)
+	for i := range times {
+		times[i] = time.Duration(i) * time.Microsecond
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		for _, t := range times {
+			k.At(t, func() {})
+		}
+		k.Run()
+	}
+}

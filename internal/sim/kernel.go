@@ -13,6 +13,20 @@
 // goroutines hand control back to the kernel synchronously, so execution
 // order is fully determined by the event queue ordering (time, then
 // insertion sequence).
+//
+// Event storage: the kernel keeps three internally ordered queues and always
+// executes the globally smallest (time, sequence) entry, so the three are
+// indistinguishable from one queue:
+//
+//   - a binary heap for arbitrary cancellable events (At/After);
+//   - an immediate FIFO for zero-delay events (Defer) — appends are in
+//     (time, sequence) order by construction, so no heap ops are needed;
+//   - a staged FIFO for monotone batch schedules (AtBatch) — pre-sorted
+//     arrival schedules append in O(1) per event instead of O(log n).
+//
+// Fire-and-forget events scheduled with AfterFree additionally recycle
+// their Event structs through a free list, keeping the simulation's
+// steady-state allocation rate near zero.
 package sim
 
 import (
@@ -33,21 +47,28 @@ type Event struct {
 	when      Time
 	seq       uint64
 	fn        func()
+	k         *Kernel
 	cancelled bool
 	fired     bool
-	index     int // heap index, -1 once removed
+	pooled    bool // scheduled via AfterFree: no handle escaped, recyclable
+	index     int  // heap index, -1 once removed
 }
 
 // When returns the simulation time the event is (or was) scheduled for.
 func (e *Event) When() Time { return e.when }
 
 // Cancel prevents the event from firing. It reports whether the event was
-// still pending (i.e. the cancellation had an effect).
+// still pending (i.e. the cancellation had an effect). Cancelled events are
+// removed from the queue lazily but leave the kernel's Pending count
+// immediately.
 func (e *Event) Cancel() bool {
 	if e.cancelled || e.fired {
 		return false
 	}
 	e.cancelled = true
+	if e.k != nil {
+		e.k.live--
+	}
 	return true
 }
 
@@ -80,6 +101,27 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// immEvent is a zero-delay event (Defer). Stored by value: no allocation,
+// no cancellation handle. The immediate queue is sorted by construction:
+// each append stamps the current clock and the next sequence number, and
+// the clock never moves backwards.
+type immEvent struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+// stagedEvent is one entry of a monotone batch schedule (AtBatch). Stored by
+// value; the callback is shared across the batch and receives the entry's
+// index, so a whole arrival schedule costs one slice and zero per-event
+// closures.
+type stagedEvent struct {
+	when Time
+	seq  uint64
+	idx  int
+	fn   func(int)
+}
+
 // Kernel is a discrete-event simulation executor. The zero value is not
 // usable; construct with New.
 type Kernel struct {
@@ -89,6 +131,15 @@ type Kernel struct {
 	rng     *rand.Rand
 	stepped uint64
 	procs   int // live process goroutines (for diagnostics)
+	live    int // scheduled, uncancelled, unfired events across all queues
+
+	imm     []immEvent // zero-delay FIFO (Defer)
+	immHead int
+
+	staged     []stagedEvent // monotone batch FIFO (AtBatch)
+	stagedHead int
+
+	free []*Event // recycled AfterFree events
 }
 
 // New returns a kernel whose clock starts at zero and whose random source is
@@ -108,9 +159,10 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Steps returns the number of events executed so far.
 func (k *Kernel) Steps() uint64 { return k.stepped }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled events that have not been drained yet).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of live scheduled events: cancelled events are
+// excluded as soon as Cancel succeeds, even though their queue entries are
+// drained lazily.
+func (k *Kernel) Pending() int { return k.live }
 
 // At schedules fn to run at absolute simulation time t. Scheduling in the
 // past panics: the simulation clock never moves backwards.
@@ -118,8 +170,9 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &Event{when: t, seq: k.seq, fn: fn}
+	e := &Event{when: t, seq: k.seq, fn: fn, k: k}
 	k.seq++
+	k.live++
 	heap.Push(&k.queue, e)
 	return e
 }
@@ -132,19 +185,177 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 	return k.At(k.now+d, fn)
 }
 
+// Defer schedules fn to run at the current simulation time, after every
+// event already scheduled for this instant — exactly like After(0, fn) but
+// with no cancellation handle and no per-event allocation: the entry lands
+// in a FIFO that is ordered by construction. This is the fast path for the
+// process wake-ups and promise resolutions that dominate event traffic.
+func (k *Kernel) Defer(fn func()) {
+	k.imm = append(k.imm, immEvent{when: k.now, seq: k.seq, fn: fn})
+	k.seq++
+	k.live++
+}
+
+// AfterFree schedules fn to run d from now, like After, but returns no
+// Event handle: the event cannot be cancelled, and its storage is recycled
+// through a free list once it fires. Use for fire-and-forget scheduling on
+// hot paths. Negative d panics; zero d takes the Defer fast path.
+func (k *Kernel) AfterFree(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if d == 0 {
+		k.Defer(fn)
+		return
+	}
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		e.cancelled = false
+		e.fired = false
+	} else {
+		e = &Event{k: k, pooled: true}
+	}
+	e.when = k.now + d
+	e.seq = k.seq
+	e.fn = fn
+	k.seq++
+	k.live++
+	heap.Push(&k.queue, e)
+}
+
+// AtBatch schedules fn(i) at times[i] for every i. times must be
+// non-decreasing with times[0] >= Now() (a monotone arrival schedule, e.g.
+// a trace sorted by arrival time); violations panic. When the batch extends
+// the staged queue monotonically — always the case unless an earlier batch
+// still has later entries pending — each event is appended in O(1) with no
+// heap operations and no per-event closure, so scheduling a whole trace is
+// O(n). Otherwise it falls back to individual heap scheduling, which is
+// slower but ordered identically.
+func (k *Kernel) AtBatch(times []Time, fn func(i int)) {
+	if len(times) == 0 {
+		return
+	}
+	if times[0] < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", times[0], k.now))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			panic(fmt.Sprintf("sim: AtBatch times not monotone at %d: %v < %v", i, times[i], times[i-1]))
+		}
+	}
+	if k.stagedHead < len(k.staged) && times[0] < k.staged[len(k.staged)-1].when {
+		for i, t := range times {
+			i := i
+			k.At(t, func() { fn(i) })
+		}
+		return
+	}
+	for i, t := range times {
+		k.staged = append(k.staged, stagedEvent{when: t, seq: k.seq, idx: i, fn: fn})
+		k.seq++
+		k.live++
+	}
+}
+
+// nextHeap drains cancelled events off the heap top and returns the live
+// head, or nil when the heap holds no live events.
+func (k *Kernel) nextHeap() *Event {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if !e.cancelled {
+			return e
+		}
+		heap.Pop(&k.queue)
+		k.recycle(e)
+	}
+	return nil
+}
+
+// recycle returns a pooled event to the free list once it can no longer
+// fire. Events whose handles escaped via At/After are never recycled.
+func (k *Kernel) recycle(e *Event) {
+	if !e.pooled {
+		return
+	}
+	e.fn = nil
+	k.free = append(k.free, e)
+}
+
+// event queue sources for Step's three-way selection.
+const (
+	srcNone = iota
+	srcHeap
+	srcImm
+	srcStaged
+)
+
+// nextSource returns the queue holding the globally smallest (time, seq)
+// live event.
+func (k *Kernel) nextSource() int {
+	src := srcNone
+	var when Time
+	var seq uint64
+	if e := k.nextHeap(); e != nil {
+		src, when, seq = srcHeap, e.when, e.seq
+	}
+	if k.immHead < len(k.imm) {
+		ie := &k.imm[k.immHead]
+		if src == srcNone || ie.when < when || (ie.when == when && ie.seq < seq) {
+			src, when, seq = srcImm, ie.when, ie.seq
+		}
+	}
+	if k.stagedHead < len(k.staged) {
+		se := &k.staged[k.stagedHead]
+		if src == srcNone || se.when < when || (se.when == when && se.seq < seq) {
+			src = srcStaged
+		}
+	}
+	return src
+}
+
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed (false when the queue
 // is empty).
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
+	switch k.nextSource() {
+	case srcHeap:
 		e := heap.Pop(&k.queue).(*Event)
-		if e.cancelled {
-			continue
-		}
 		k.now = e.when
 		e.fired = true
+		k.live--
 		k.stepped++
-		e.fn()
+		fn := e.fn
+		k.recycle(e)
+		fn()
+		return true
+	case srcImm:
+		ie := k.imm[k.immHead]
+		k.imm[k.immHead].fn = nil
+		k.immHead++
+		if k.immHead == len(k.imm) {
+			k.imm = k.imm[:0]
+			k.immHead = 0
+		}
+		k.now = ie.when
+		k.live--
+		k.stepped++
+		ie.fn()
+		return true
+	case srcStaged:
+		se := k.staged[k.stagedHead]
+		k.staged[k.stagedHead].fn = nil
+		k.stagedHead++
+		if k.stagedHead == len(k.staged) {
+			k.staged = k.staged[:0]
+			k.stagedHead = 0
+		}
+		k.now = se.when
+		k.live--
+		k.stepped++
+		se.fn(se.idx)
 		return true
 	}
 	return false
@@ -156,11 +367,32 @@ func (k *Kernel) Run() {
 	}
 }
 
+// nextWhen returns the timestamp of the next live event across all queues.
+func (k *Kernel) nextWhen() (Time, bool) {
+	var w Time
+	ok := false
+	if e := k.nextHeap(); e != nil {
+		w, ok = e.when, true
+	}
+	if k.immHead < len(k.imm) {
+		if iw := k.imm[k.immHead].when; !ok || iw < w {
+			w, ok = iw, true
+		}
+	}
+	if k.stagedHead < len(k.staged) {
+		if sw := k.staged[k.stagedHead].when; !ok || sw < w {
+			w, ok = sw, true
+		}
+	}
+	return w, ok
+}
+
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t. Events scheduled for after t remain pending.
 func (k *Kernel) RunUntil(t Time) {
-	for len(k.queue) > 0 {
-		if next := k.peek(); next == nil || next.when > t {
+	for {
+		w, ok := k.nextWhen()
+		if !ok || w > t {
 			break
 		}
 		k.Step()
@@ -168,15 +400,4 @@ func (k *Kernel) RunUntil(t Time) {
 	if t > k.now {
 		k.now = t
 	}
-}
-
-func (k *Kernel) peek() *Event {
-	for len(k.queue) > 0 {
-		if k.queue[0].cancelled {
-			heap.Pop(&k.queue)
-			continue
-		}
-		return k.queue[0]
-	}
-	return nil
 }

@@ -185,3 +185,251 @@ func TestStepsAndPending(t *testing.T) {
 		t.Fatalf("Pending() = %d, want 0", k.Pending())
 	}
 }
+
+func TestDeferRunsAfterSameInstantEvents(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.After(0, func() { got = append(got, 1) })
+	k.Defer(func() { got = append(got, 2) })
+	k.After(0, func() { got = append(got, 3) })
+	k.Defer(func() { got = append(got, 4) })
+	k.Run()
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeferFromFutureEvent(t *testing.T) {
+	k := New(1)
+	var got []string
+	k.After(time.Second, func() {
+		k.Defer(func() { got = append(got, "deferred@1s") })
+		got = append(got, "timer@1s")
+	})
+	k.After(2*time.Second, func() { got = append(got, "timer@2s") })
+	k.Run()
+	if len(got) != 3 || got[0] != "timer@1s" || got[1] != "deferred@1s" || got[2] != "timer@2s" {
+		t.Fatalf("order = %v", got)
+	}
+	if k.Now() != 2*time.Second {
+		t.Errorf("Now() = %v", k.Now())
+	}
+}
+
+func TestAfterFreeOrderingAndReuse(t *testing.T) {
+	k := New(1)
+	var got []int
+	// Interleave pooled and regular events at identical timestamps; the
+	// free-list recycling must not disturb (time, seq) ordering.
+	for round := 0; round < 3; round++ {
+		round := round
+		k.AfterFree(time.Duration(round)*time.Millisecond, func() {
+			got = append(got, round*2)
+			k.AfterFree(time.Microsecond, func() { got = append(got, round*2+1) })
+		})
+	}
+	k.Run()
+	want := []int{0, 1, 2, 3, 4, 5}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAfterFreeZeroDelay(t *testing.T) {
+	k := New(1)
+	ran := false
+	k.AfterFree(0, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("AfterFree(0) did not run")
+	}
+}
+
+func TestAtBatchFiresInOrder(t *testing.T) {
+	k := New(1)
+	times := []Time{time.Millisecond, time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond}
+	var idxs []int
+	var stamps []Time
+	k.AtBatch(times, func(i int) {
+		idxs = append(idxs, i)
+		stamps = append(stamps, k.Now())
+	})
+	// A heap event between batch entries must interleave correctly.
+	k.After(3*time.Millisecond, func() { idxs = append(idxs, -1) })
+	k.Run()
+	want := []int{0, 1, -1, 2, 3}
+	for i := range want {
+		if i >= len(idxs) || idxs[i] != want[i] {
+			t.Fatalf("order = %v, want %v", idxs, want)
+		}
+	}
+	for i, at := range []Time{time.Millisecond, time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond} {
+		if stamps[i] != at {
+			t.Fatalf("entry %d fired at %v, want %v", i, stamps[i], at)
+		}
+	}
+}
+
+func TestAtBatchNonMonotonePanics(t *testing.T) {
+	k := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-monotone AtBatch did not panic")
+		}
+	}()
+	k.AtBatch([]Time{time.Second, time.Millisecond}, func(int) {})
+}
+
+func TestAtBatchPastPanics(t *testing.T) {
+	k := New(1)
+	k.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AtBatch in the past did not panic")
+			}
+		}()
+		k.AtBatch([]Time{0}, func(int) {})
+	})
+	k.Run()
+}
+
+func TestAtBatchOverlapFallsBackToHeap(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.AtBatch([]Time{time.Millisecond, 10 * time.Millisecond}, func(i int) { got = append(got, 10+i) })
+	// Second batch starts before the first batch's tail: the kernel must
+	// still execute everything in global (time, seq) order.
+	k.AtBatch([]Time{2 * time.Millisecond, 3 * time.Millisecond}, func(i int) { got = append(got, 20+i) })
+	k.Run()
+	want := []int{10, 20, 21, 11}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtBatchEmpty(t *testing.T) {
+	k := New(1)
+	k.AtBatch(nil, func(int) {})
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after empty batch", k.Pending())
+	}
+}
+
+// Pending must exclude cancelled events immediately, even though their heap
+// entries drain lazily (the regression of the old len(queue) semantics).
+func TestPendingExcludesCancelled(t *testing.T) {
+	k := New(1)
+	a := k.After(time.Millisecond, func() {})
+	b := k.After(2*time.Millisecond, func() {})
+	c := k.After(3*time.Millisecond, func() {})
+	_ = a
+	if k.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", k.Pending())
+	}
+	b.Cancel()
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() after Cancel = %d, want 2", k.Pending())
+	}
+	b.Cancel() // double cancel must not double-decrement
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() after double Cancel = %d, want 2", k.Pending())
+	}
+	c.Cancel()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() after Run = %d, want 0", k.Pending())
+	}
+	if k.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1 (cancelled events must not fire)", k.Steps())
+	}
+}
+
+// Cancelled events at the heap top are drained without firing, and a
+// cancelled head must not mask a later live event (peek-drain behavior).
+func TestCancelledHeadDrained(t *testing.T) {
+	k := New(1)
+	e := k.After(time.Millisecond, func() { t.Error("cancelled event ran") })
+	ran := false
+	k.After(time.Second, func() { ran = true })
+	e.Cancel()
+	k.RunUntil(time.Minute)
+	if !ran {
+		t.Fatal("live event behind cancelled head did not run")
+	}
+	if k.Pending() != 0 || k.Steps() != 1 {
+		t.Fatalf("Pending/Steps = %d/%d, want 0/1", k.Pending(), k.Steps())
+	}
+}
+
+func TestPendingCountsDeferAndBatch(t *testing.T) {
+	k := New(1)
+	k.Defer(func() {})
+	k.AfterFree(time.Millisecond, func() {})
+	k.AtBatch([]Time{time.Second}, func(int) {})
+	if k.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestRunUntilWithBatchAndDefer(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.AtBatch([]Time{time.Second, 3 * time.Second}, func(i int) { got = append(got, i) })
+	k.RunUntil(2 * time.Second)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("got %v, want [0]", got)
+	}
+	if k.Now() != 2*time.Second {
+		t.Errorf("Now() = %v", k.Now())
+	}
+	k.Run()
+	if len(got) != 2 {
+		t.Fatalf("remaining batch entry did not run: %v", got)
+	}
+}
+
+// Determinism must hold across the mixed queue sources: the same seed and
+// schedule produce the same execution order regardless of which internal
+// queue each event lives in.
+func TestDeterminismMixedSources(t *testing.T) {
+	run := func() []int {
+		k := New(9)
+		var got []int
+		times := make([]Time, 50)
+		for i := range times {
+			times[i] = time.Duration(i/2) * time.Millisecond
+		}
+		k.AtBatch(times, func(i int) { got = append(got, 1000+i) })
+		for i := 0; i < 50; i++ {
+			i := i
+			d := time.Duration(k.Rand().Intn(25)) * time.Millisecond
+			k.AfterFree(d, func() { got = append(got, 2000+i) })
+		}
+		k.After(0, func() { k.Defer(func() { got = append(got, 3000) }) })
+		k.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

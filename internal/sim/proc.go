@@ -36,7 +36,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan func()),
 		parked: make(chan struct{}),
 	}
-	k.After(0, func() { p.start(fn) })
+	k.Defer(func() { p.start(fn) })
 	return p
 }
 
@@ -81,7 +81,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.k.After(d, func() { p.wake(nil) })
+	p.k.AfterFree(d, func() { p.wake(nil) })
 	p.yield()
 }
 
@@ -134,11 +134,11 @@ func (pr *Promise[T]) complete(v T, err error) {
 	pr.callback = nil
 	for _, w := range waiters {
 		w := w
-		pr.k.After(0, func() { w.wake(nil) })
+		pr.k.Defer(func() { w.wake(nil) })
 	}
 	for _, cb := range cbs {
 		cb := cb
-		pr.k.After(0, func() { cb(v, err) })
+		pr.k.Defer(func() { cb(v, err) })
 	}
 }
 
@@ -156,7 +156,7 @@ func (pr *Promise[T]) Await(p *Proc) (T, error) {
 func (pr *Promise[T]) OnDone(fn func(T, error)) {
 	if pr.done {
 		v, err := pr.val, pr.err
-		pr.k.After(0, func() { fn(v, err) })
+		pr.k.Defer(func() { fn(v, err) })
 		return
 	}
 	pr.callback = append(pr.callback, fn)
@@ -196,7 +196,7 @@ func (c *Chan[T]) Close() {
 	c.closed = true
 	for _, w := range c.waiters {
 		w := w
-		c.k.After(0, func() { w.wake(nil) })
+		c.k.Defer(func() { w.wake(nil) })
 	}
 	c.waiters = nil
 }
@@ -207,7 +207,7 @@ func (c *Chan[T]) wakeOne() {
 	}
 	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.k.After(0, func() { w.wake(nil) })
+	c.k.Defer(func() { w.wake(nil) })
 }
 
 // Recv blocks until an item is available (or the channel is closed and
@@ -255,7 +255,7 @@ func (s *Signal) Broadcast() {
 	s.waiters = nil
 	for _, w := range ws {
 		w := w
-		s.k.After(0, func() { w.wake(nil) })
+		s.k.Defer(func() { w.wake(nil) })
 	}
 }
 
@@ -286,7 +286,7 @@ func (wg *WaitGroup) Add(delta int) {
 		wg.waiters = nil
 		for _, w := range ws {
 			w := w
-			wg.k.After(0, func() { w.wake(nil) })
+			wg.k.Defer(func() { w.wake(nil) })
 		}
 	}
 }

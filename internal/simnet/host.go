@@ -148,7 +148,7 @@ func (h *Host) sendOut(pkt *Packet) {
 	}
 	pkt.ID = h.net.NextPacketID()
 	if h.ProcDelay > 0 {
-		h.net.K.After(h.ProcDelay, func() { h.uplink.Send(pkt) })
+		h.net.K.AfterFree(h.ProcDelay, func() { h.uplink.Send(pkt) })
 		return
 	}
 	h.uplink.Send(pkt)
@@ -415,7 +415,7 @@ func (r *Router) HandlePacket(in *Port, pkt *Packet) {
 		return // drop: no route
 	}
 	if r.FwdDelay > 0 {
-		r.net.K.After(r.FwdDelay, func() { out.Send(pkt) })
+		r.net.K.AfterFree(r.FwdDelay, func() { out.Send(pkt) })
 		return
 	}
 	out.Send(pkt)

@@ -245,7 +245,7 @@ func (d *direction) transmit(pkt *Packet, deliver func(*Packet)) {
 	lat := d.link.cfg.Latency
 	if d.link.cfg.Bandwidth <= 0 {
 		// Infinite bandwidth: propagation only.
-		k.After(lat, func() { deliver(pkt) })
+		k.AfterFree(lat, func() { deliver(pkt) })
 		return
 	}
 	t := &transfer{
@@ -298,7 +298,7 @@ func (d *direction) complete(t *transfer) {
 	delete(d.active, t)
 	d.rebalance()
 	lat := d.link.cfg.Latency
-	d.link.net.K.After(lat, func() { t.deliver(t.pkt) })
+	d.link.net.K.AfterFree(lat, func() { t.deliver(t.pkt) })
 }
 
 // ActiveTransfers returns the number of in-flight transfers a->b and b->a

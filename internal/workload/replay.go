@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"time"
 
 	"transparentedge/internal/metrics"
@@ -9,10 +10,19 @@ import (
 	"transparentedge/internal/testbed"
 )
 
+// DefaultExactSamples is the per-series sample count above which Replay
+// switches the totals series to fixed-memory histogram mode. Below it,
+// every sample is retained and quantiles are exact — the paper-scale trace
+// (1708 requests) stays far under this, so its results are bit-identical to
+// the unbounded series.
+const DefaultExactSamples = 65536
+
 // ReplayResult aggregates one trace replay.
 type ReplayResult struct {
 	// Totals holds every request's client-measured total time (timecurl's
-	// time_total), stamped at the request's arrival time.
+	// time_total), stamped at the request's arrival time. Above the exact
+	// sample threshold it degrades to a log-bucketed histogram (see
+	// Options.ExactSamples).
 	Totals *metrics.Series
 	// FirstRequests holds only each service's first request (the
 	// on-demand deployment requests of figs. 11/12).
@@ -23,17 +33,73 @@ type ReplayResult struct {
 	Registrations []spec.Registration
 }
 
+// Options configures a replay run beyond the trace itself.
+type Options struct {
+	// PrePull / PreCreate run the fig. 11 warm conditions before t=0.
+	PrePull   bool
+	PreCreate bool
+	// GoroutinePerRequest selects the legacy strategy that spawns one
+	// parked process per request up front. The default (false) schedules
+	// arrivals as kernel events and spawns each request's process lazily at
+	// its arrival time, keeping memory flat in trace length. Both
+	// strategies produce identical results at the same seed.
+	GoroutinePerRequest bool
+	// MaxInFlight bounds concurrently executing requests in event-driven
+	// mode (0 = unlimited). Arrivals beyond the cap queue FIFO and start as
+	// running requests finish; their measured latency still spans arrival
+	// to completion, so queueing shows up in the totals.
+	MaxInFlight int
+	// ExactSamples is the per-series sample threshold beyond which result
+	// series fold into fixed-memory histograms. 0 means
+	// DefaultExactSamples; negative means never fold (retain every sample).
+	ExactSamples int
+	// RequestTimeout bounds each request (0 = wait forever, the paper's
+	// on-demand-with-waiting behavior). Timed-out requests count as errors.
+	RequestTimeout time.Duration
+}
+
 // Replay registers trace.Config.Services instances of the given Table I
 // service type (the paper uses "a single service type per test run"),
 // optionally pre-pulls and pre-creates them (the fig. 11 warm conditions),
 // then replays the trace: every request is issued from its client at its
-// arrival time and measured end to end.
-//
-// The testbed kernel is run to completion inside Replay.
+// arrival time and measured end to end. It is shorthand for ReplayWith with
+// the default event-driven options.
 func Replay(tb *testbed.Testbed, trace *Trace, serviceKey string, prePull, preCreate bool) (*ReplayResult, error) {
+	return ReplayWith(tb, trace, serviceKey, Options{PrePull: prePull, PreCreate: preCreate})
+}
+
+// ReplayWith replays a trace with explicit options. The testbed kernel is
+// run to completion inside the call.
+func ReplayWith(tb *testbed.Testbed, trace *Trace, serviceKey string, opts Options) (*ReplayResult, error) {
+	if len(tb.Clients) == 0 {
+		return nil, fmt.Errorf("workload: testbed has no clients")
+	}
+	if trace == nil || trace.Config.Services <= 0 {
+		return nil, fmt.Errorf("workload: trace has no services")
+	}
+	for i, r := range trace.Requests {
+		if r.Service < 0 || r.Service >= trace.Config.Services {
+			return nil, fmt.Errorf("workload: request %d references service %d outside [0,%d)",
+				i, r.Service, trace.Config.Services)
+		}
+		if r.Client < 0 {
+			return nil, fmt.Errorf("workload: request %d has negative client %d", i, r.Client)
+		}
+	}
+
+	exact := opts.ExactSamples
+	if exact == 0 {
+		exact = DefaultExactSamples
+	}
+	newSeries := func(name string) *metrics.Series {
+		if exact < 0 {
+			return metrics.NewSeries(name)
+		}
+		return metrics.NewBoundedSeries(name, exact)
+	}
 	res := &ReplayResult{
-		Totals:        metrics.NewSeries(serviceKey + "/totals"),
-		FirstRequests: metrics.NewSeries(serviceKey + "/first"),
+		Totals:        newSeries(serviceKey + "/totals"),
+		FirstRequests: newSeries(serviceKey + "/first"),
 	}
 	regs := make([]spec.Registration, trace.Config.Services)
 	annotated := make([]*spec.Annotated, trace.Config.Services)
@@ -52,7 +118,7 @@ func Replay(tb *testbed.Testbed, trace *Trace, serviceKey string, prePull, preCr
 	prepDone := sim.NewPromise[sim.Time](tb.K)
 	tb.K.Go("prepare", func(p *sim.Proc) {
 		defer func() { prepDone.Resolve(p.Now()) }()
-		if !prePull && !preCreate {
+		if !opts.PrePull && !opts.PreCreate {
 			return
 		}
 		for _, cl := range tb.Ctrl.Clusters() {
@@ -61,7 +127,7 @@ func Replay(tb *testbed.Testbed, trace *Trace, serviceKey string, prePull, preCr
 					res.Errors++
 					return
 				}
-				if preCreate {
+				if opts.PreCreate {
 					if err := cl.Create(p, a); err != nil {
 						res.Errors++
 						return
@@ -71,6 +137,23 @@ func Replay(tb *testbed.Testbed, trace *Trace, serviceKey string, prePull, preCr
 		}
 	})
 
+	if opts.GoroutinePerRequest {
+		replayGoroutines(tb, trace, res, regs, serviceKey, opts, prepDone)
+	} else {
+		replayEvents(tb, trace, res, regs, serviceKey, opts, prepDone)
+	}
+
+	// Run until all requests completed (generous bound: trace duration
+	// plus slack for trailing deployments).
+	tb.K.RunUntil(trace.Config.Duration + 30*time.Minute)
+	return res, nil
+}
+
+// replayGoroutines is the legacy strategy: one process per request, spawned
+// up front and parked until its arrival time. O(trace) goroutines and parked
+// stacks — kept behind Options.GoroutinePerRequest for parity checking.
+func replayGoroutines(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
+	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time]) {
 	firstSeen := make(map[int]bool, trace.Config.Services)
 	for _, r := range trace.Requests {
 		r := r
@@ -82,7 +165,7 @@ func Replay(tb *testbed.Testbed, trace *Trace, serviceKey string, prePull, preCr
 			t0, _ := prepDone.Await(p)
 			p.SleepUntil(t0 + r.At)
 			at := p.Now()
-			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, 0)
+			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout)
 			if err != nil {
 				res.Errors++
 				return
@@ -93,8 +176,59 @@ func Replay(tb *testbed.Testbed, trace *Trace, serviceKey string, prePull, preCr
 			}
 		})
 	}
-	// Run until all requests completed (generous bound: trace duration
-	// plus slack for trailing deployments).
-	tb.K.RunUntil(trace.Config.Duration + 30*time.Minute)
-	return res, nil
+}
+
+// replayEvents is the event-driven strategy: once preparation resolves, the
+// whole arrival schedule is staged as a monotone event batch (O(n), no
+// heap churn) and each request's process is spawned lazily at its arrival
+// time, so peak memory tracks in-flight requests instead of trace length.
+func replayEvents(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
+	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time]) {
+	firstSeen := make(map[int]bool, trace.Config.Services)
+	isFirst := make([]bool, len(trace.Requests))
+	for i, r := range trace.Requests {
+		isFirst[i] = !firstSeen[r.Service]
+		firstSeen[r.Service] = true
+	}
+
+	inFlight := 0
+	var queued []int // arrival-order indices waiting on the in-flight cap
+	var start func(i int, at sim.Time)
+	start = func(i int, at sim.Time) {
+		inFlight++
+		r := trace.Requests[i]
+		tb.K.Go("replay", func(p *sim.Proc) {
+			defer func() {
+				inFlight--
+				if len(queued) > 0 && (opts.MaxInFlight <= 0 || inFlight < opts.MaxInFlight) {
+					next := queued[0]
+					queued = queued[1:]
+					start(next, p.Now())
+				}
+			}()
+			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout)
+			if err != nil {
+				res.Errors++
+				return
+			}
+			res.Totals.Add(at, hr.Total)
+			if isFirst[i] {
+				res.FirstRequests.Add(at, hr.Total)
+			}
+		})
+	}
+
+	prepDone.OnDone(func(t0 sim.Time, _ error) {
+		times := make([]sim.Time, len(trace.Requests))
+		for i, r := range trace.Requests {
+			times[i] = t0 + r.At
+		}
+		tb.K.AtBatch(times, func(i int) {
+			if opts.MaxInFlight > 0 && inFlight >= opts.MaxInFlight {
+				queued = append(queued, i)
+				return
+			}
+			start(i, tb.K.Now())
+		})
+	})
 }

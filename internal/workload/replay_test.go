@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"transparentedge/internal/catalog"
+	"transparentedge/internal/metrics"
+	"transparentedge/internal/testbed"
+)
+
+func newReplayTestbed(seed int64, clients int) *testbed.Testbed {
+	return testbed.New(testbed.Options{Seed: seed, EnableDocker: true, NumClients: clients})
+}
+
+// TestReplayParityFig9 is the acceptance gate for the event-driven replay:
+// on the full fig. 9 trace at the same seed, the event-driven and
+// goroutine-per-request strategies must produce bit-identical results.
+func TestReplayParityFig9(t *testing.T) {
+	trace := Generate(DefaultConfig(42))
+
+	run := func(goroutines bool) *ReplayResult {
+		tb := newReplayTestbed(42, 20)
+		res, err := ReplayWith(tb, trace, catalog.Nginx, Options{
+			PrePull: true, PreCreate: true, GoroutinePerRequest: goroutines,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ev := run(false)
+	gr := run(true)
+
+	if ev.Errors != gr.Errors {
+		t.Errorf("Errors: event %d, goroutine %d", ev.Errors, gr.Errors)
+	}
+	if ev.Totals.Len() != gr.Totals.Len() {
+		t.Errorf("Totals.Len: event %d, goroutine %d", ev.Totals.Len(), gr.Totals.Len())
+	}
+	if ev.FirstRequests.Len() != gr.FirstRequests.Len() {
+		t.Errorf("FirstRequests.Len: event %d, goroutine %d",
+			ev.FirstRequests.Len(), gr.FirstRequests.Len())
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if e, g := ev.Totals.Percentile(p), gr.Totals.Percentile(p); e != g {
+			t.Errorf("Totals P%v: event %v, goroutine %v", p, e, g)
+		}
+	}
+	if e, g := ev.FirstRequests.Median(), gr.FirstRequests.Median(); e != g {
+		t.Errorf("FirstRequests median: event %v, goroutine %v", e, g)
+	}
+	// Strongest form: the per-request (arrival, total) sample multisets are
+	// bit-identical. Insertion order is compared after sorting because two
+	// requests can complete at the exact same simulation instant, and the
+	// tie then breaks on event sequence numbers, which legitimately differ
+	// between the two scheduling strategies.
+	es, gs := sortedSamples(ev.Totals), sortedSamples(gr.Totals)
+	if len(es) != len(gs) {
+		t.Fatalf("sample counts differ: %d vs %d", len(es), len(gs))
+	}
+	for i := range es {
+		if es[i] != gs[i] {
+			t.Fatalf("sample %d differs: event %+v, goroutine %+v", i, es[i], gs[i])
+		}
+	}
+}
+
+func sortedSamples(s *metrics.Series) []metrics.Sample {
+	out := s.Samples()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+func TestReplayGuardNoClients(t *testing.T) {
+	tb := newReplayTestbed(1, 5)
+	tb.Clients = nil
+	trace := Generate(Config{Seed: 1, Services: 2, TotalRequests: 4,
+		MinPerService: 2, Duration: time.Second, Clients: 2})
+	if _, err := Replay(tb, trace, catalog.Nginx, false, false); err == nil {
+		t.Fatal("Replay with no clients did not error")
+	}
+}
+
+func TestReplayGuardZeroServices(t *testing.T) {
+	tb := newReplayTestbed(1, 5)
+	if _, err := Replay(tb, &Trace{}, catalog.Nginx, false, false); err == nil {
+		t.Fatal("Replay with zero-service trace did not error")
+	}
+	if _, err := Replay(tb, nil, catalog.Nginx, false, false); err == nil {
+		t.Fatal("Replay with nil trace did not error")
+	}
+}
+
+func TestReplayGuardOutOfRangeRequests(t *testing.T) {
+	tb := newReplayTestbed(1, 5)
+	bad := &Trace{
+		Config:   Config{Services: 1, TotalRequests: 1, Duration: time.Second, Clients: 1},
+		Requests: []Request{{At: 0, Client: 0, Service: 5}},
+	}
+	if _, err := Replay(tb, bad, catalog.Nginx, false, false); err == nil {
+		t.Fatal("out-of-range service did not error")
+	}
+	bad.Requests[0] = Request{At: 0, Client: -1, Service: 0}
+	if _, err := Replay(tb, bad, catalog.Nginx, false, false); err == nil {
+		t.Fatal("negative client did not error")
+	}
+}
+
+// TestReplayErrorAccountingPrepFailure: a failed pre-pull increments Errors
+// exactly once and aborts preparation; the replay itself still proceeds
+// (requests are served by cloud forwarding while edge deployment is broken).
+func TestReplayErrorAccountingPrepFailure(t *testing.T) {
+	cfg := Config{Seed: 1, Services: 2, TotalRequests: 8, MinPerService: 4,
+		Duration: 10 * time.Second, Clients: 5}
+	trace := Generate(cfg)
+	tb := newReplayTestbed(1, 5)
+	// Unpublish the image so the pre-pull manifest request 404s.
+	tb.Hub.Remove(catalog.ImgNginx)
+	res, err := ReplayWith(tb, trace, catalog.Nginx, Options{PrePull: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 1 {
+		t.Fatalf("Errors = %d, want exactly 1 (the failed pre-pull)", res.Errors)
+	}
+	if res.Totals.Len() != cfg.TotalRequests {
+		t.Fatalf("Totals.Len = %d, want %d (requests served from the cloud)",
+			res.Totals.Len(), cfg.TotalRequests)
+	}
+}
+
+// TestReplayErrorAccountingRequestFailure: each timed-out request increments
+// Errors exactly once and adds no sample.
+func TestReplayErrorAccountingRequestFailure(t *testing.T) {
+	cfg := Config{Seed: 1, Services: 2, TotalRequests: 8, MinPerService: 4,
+		Duration: 10 * time.Second, Clients: 5}
+	trace := Generate(cfg)
+	for _, goroutines := range []bool{false, true} {
+		tb := newReplayTestbed(1, 5)
+		res, err := ReplayWith(tb, trace, catalog.Nginx, Options{
+			GoroutinePerRequest: goroutines,
+			RequestTimeout:      time.Microsecond, // shorter than any RTT
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != cfg.TotalRequests {
+			t.Errorf("goroutines=%v: Errors = %d, want %d",
+				goroutines, res.Errors, cfg.TotalRequests)
+		}
+		if res.Totals.Len() != 0 {
+			t.Errorf("goroutines=%v: Totals.Len = %d, want 0", goroutines, res.Totals.Len())
+		}
+	}
+}
+
+func TestReplayMaxInFlight(t *testing.T) {
+	cfg := Config{Seed: 2, Services: 3, TotalRequests: 30, MinPerService: 5,
+		Duration: 20 * time.Second, Clients: 5}
+	trace := Generate(cfg)
+	tb := newReplayTestbed(2, 5)
+	res, err := ReplayWith(tb, trace, catalog.Nginx, Options{
+		PrePull: true, PreCreate: true, MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("Errors = %d", res.Errors)
+	}
+	if res.Totals.Len() != cfg.TotalRequests {
+		t.Fatalf("Totals.Len = %d, want %d — queued arrivals lost?",
+			res.Totals.Len(), cfg.TotalRequests)
+	}
+	if res.FirstRequests.Len() != cfg.Services {
+		t.Fatalf("FirstRequests.Len = %d, want %d", res.FirstRequests.Len(), cfg.Services)
+	}
+	// With cap 1 a queued request's measured total includes its queueing
+	// delay, so no sample can undercut the uncontended fast path: every
+	// total must stay above the bare client->EGS round trip.
+	if res.Totals.Min() <= 0 {
+		t.Fatalf("Totals.Min = %v", res.Totals.Min())
+	}
+}
+
+func TestReplayHistogramModeAboveThreshold(t *testing.T) {
+	cfg := Config{Seed: 3, Services: 2, TotalRequests: 40, MinPerService: 5,
+		Duration: 20 * time.Second, Clients: 5}
+	trace := Generate(cfg)
+	tb := newReplayTestbed(3, 5)
+	res, err := ReplayWith(tb, trace, catalog.Nginx, Options{
+		PrePull: true, PreCreate: true, ExactSamples: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Exact() {
+		t.Fatal("Totals did not fold into histogram mode above the threshold")
+	}
+	if res.Totals.Len() != cfg.TotalRequests {
+		t.Fatalf("Totals.Len = %d, want %d", res.Totals.Len(), cfg.TotalRequests)
+	}
+	if res.Totals.Median() <= 0 {
+		t.Fatalf("Median = %v, want > 0", res.Totals.Median())
+	}
+}

@@ -265,6 +265,7 @@ func TestParseCSVErrors(t *testing.T) {
 		"at_ms,client,service\n",
 		"at_ms,client,service\nx,0,0\n",
 		"at_ms,client,service\n5,0\n",
+		"at_ms,client,service\n5,0,0,9\n",
 		"at_ms,client,service\n-5,0,0\n",
 		"at_ms,client,service\n5,-1,0\n",
 		"at_ms,client,service\n5,0,oops\n",
