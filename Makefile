@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race bench fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot bench fuzz experiments examples clean
 
 all: check
 
 # The full pre-merge gate: formatting, compile, static analysis, tests,
-# race detector.
-check: fmt build vet test race
+# race detector (everywhere, plus a focused pass over the sweep engine's
+# worker-pool code and the sim kernel it drives).
+check: fmt build vet test race race-hot
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,12 +27,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the parallel-sweep worker pool and the kernel.
+race-hot:
+	$(GO) test -race -count 1 ./internal/experiments ./internal/sim
+
 # Regenerate every table and figure of the paper (plus ablations) and the
 # scale benchmarks, recording machine-readable results. The replay-engine
-# sweep (10k/100k/1M requests) lands in BENCH_replay.json; everything else
-# in BENCH_all.json.
+# sweep (10k/100k/1M requests) lands in BENCH_replay.json; the parallel
+# sweep engine (serial vs parallel wall time, speedup, allocs) in
+# BENCH_sweep.json; everything else in BENCH_all.json.
 bench:
 	$(GO) test -json -bench 'BenchmarkReplayScale' -benchmem -benchtime 1x -run '^$$' . > BENCH_replay.json
+	$(GO) test -json -bench 'BenchmarkSweep' -benchmem -benchtime 1x -run '^$$' . > BENCH_sweep.json
 	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
 
 # Fuzz the YAML parser for a minute.

@@ -13,6 +13,7 @@ package transparentedge_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -350,6 +351,46 @@ func BenchmarkDispatch_StateQueries(b *testing.B) {
 				b.ReportMetric(ms(res.Dispatch), "dispatch_ms")
 			})
 		}
+	}
+}
+
+// BenchmarkSweep runs the default 8-variant with/without-waiting sweep
+// serially and across all cores, verifies the per-variant metrics are
+// bit-identical (each variant owns a private kernel, so worker scheduling
+// cannot leak into results), and reports the wall-clock speedup. On >= 4
+// cores the parallel run must be at least 3x faster; on smaller machines
+// only the parity is asserted.
+func BenchmarkSweep(b *testing.B) {
+	b.ReportAllocs()
+	variants := edge.WaitingSweepVariants(4, 2000) // 4 seeds x 2 waiting modes
+	requests := 0
+	var serialWall, parallelWall time.Duration
+	for i := 0; i < b.N; i++ {
+		serial := edge.RunSweep(variants, 1)
+		parallel := edge.RunSweep(variants, 0)
+		requests = 0
+		for j := range serial.Variants {
+			s, p := serial.Variants[j], parallel.Variants[j]
+			if s.Err != nil || p.Err != nil {
+				b.Fatalf("variant %s failed: %v / %v", s.Variant.Label(), s.Err, p.Err)
+			}
+			if s.Fingerprint() != p.Fingerprint() {
+				b.Fatalf("variant %s: serial and parallel metrics diverge", s.Variant.Label())
+			}
+			requests += s.Requests
+		}
+		if serial.Merged.Fingerprint() != parallel.Merged.Fingerprint() {
+			b.Fatal("merged histograms diverge between serial and parallel runs")
+		}
+		serialWall, parallelWall = serial.Wall, parallel.Wall
+	}
+	speedup := float64(serialWall) / float64(parallelWall)
+	b.ReportMetric(ms(serialWall), "serial_ms")
+	b.ReportMetric(ms(parallelWall), "parallel_ms")
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(requests), "requests")
+	if runtime.NumCPU() >= 4 && speedup < 3 {
+		b.Fatalf("speedup %.2fx < 3x over serial on %d cores", speedup, runtime.NumCPU())
 	}
 }
 

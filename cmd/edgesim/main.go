@@ -10,9 +10,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	edge "transparentedge"
@@ -29,7 +31,19 @@ var (
 
 	replayRequests = flag.Int("replay-requests", 10000, "trace length for scale-replay")
 	goroutines     = flag.Bool("goroutines", false, "scale-replay: legacy goroutine-per-request arrivals instead of event-driven")
+
+	procs      = flag.Int("procs", 0, "worker/CPU bound for sweep and the scale-* experiments (0 = all cores)")
+	asJSON     = flag.Bool("json", false, "sweep/scale-*: emit the uniform JSON result shape instead of text")
+	sweepSeeds = flag.Int("sweep-seeds", 4, "sweep: number of seeds (variants = seeds x 2 waiting modes)")
+	sweepReqs  = flag.Int("sweep-requests", 2000, "sweep: requests per variant")
 )
+
+// emitJSON writes any result in the shared JSON shape to stdout.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
 
 func printTable(t interface {
 	String() string
@@ -80,6 +94,8 @@ Experiments (each reproduces one table/figure of the paper):
   scale-dispatch    dispatch latency vs cluster count (-clusters, -serial)
   scale-churn       controller-state bounds under client churn (-clients)
   scale-replay      large-trace replay cost (-replay-requests, -goroutines)
+  sweep             parallel with/without-waiting sweep across seeds
+                    (-sweep-seeds, -sweep-requests, -procs, -json)
   all      run everything
 
 Flags:
@@ -196,6 +212,13 @@ func run(which string) error {
 		printTable(res.Table)
 		fmt.Printf("proactive deployments: %d\n", res.ProactiveDeployments)
 	case "scale-dispatch":
+		limitProcs()
+		if *asJSON {
+			return emitJSON([]edge.ExperimentJSON{
+				edge.RunDispatchScale(*seed, 1, *serial).JSON(),
+				edge.RunDispatchScale(*seed, *clusters, *serial).JSON(),
+			})
+		}
 		fmt.Println(edge.RunDispatchScale(*seed, 1, *serial).String())
 		fmt.Println(edge.RunDispatchScale(*seed, *clusters, *serial).String())
 		if !*serial {
@@ -203,17 +226,39 @@ func run(which string) error {
 			fmt.Println(edge.RunDispatchScale(*seed, *clusters, true).String())
 		}
 	case "scale-churn":
+		limitProcs()
+		if *asJSON {
+			return emitJSON(edge.RunCookieChurn(*seed, *clients).JSON())
+		}
 		fmt.Print(edge.RunCookieChurn(*seed, *clients).String())
 	case "scale-replay":
+		limitProcs()
+		if *asJSON {
+			return emitJSON(edge.RunReplayScale(*seed, *replayRequests, !*goroutines).JSON())
+		}
 		fmt.Print(edge.RunReplayScale(*seed, *replayRequests, !*goroutines).String())
 		if !*goroutines && *replayRequests <= 100000 {
 			// Show the legacy engine for comparison while it is feasible.
 			fmt.Print(edge.RunReplayScale(*seed, *replayRequests, false).String())
 		}
+	case "sweep":
+		res := edge.RunSweep(edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs), *procs)
+		if *asJSON {
+			return emitJSON(res.JSON())
+		}
+		fmt.Print(res.String())
 	default:
 		return fmt.Errorf("unknown experiment %q", which)
 	}
 	return nil
+}
+
+// limitProcs applies -procs to the single-kernel scale-* experiments by
+// bounding the Go scheduler (the sweep engine bounds its own worker pool).
+func limitProcs() {
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 }
 
 // printHistogram renders counts-per-bin as an ASCII bar chart, aggregating

@@ -177,6 +177,9 @@ func ReplayTraceWith(tb *Testbed, tr *Trace, serviceKey string, opts ReplayOptio
 type (
 	// Series is a latency sample collection with medians/percentiles.
 	Series = metrics.Series
+	// Hist is a fixed-memory log-bucketed histogram; mergeable across
+	// sweep variants (Hist.Merge is exact on bucket state).
+	Hist = metrics.Hist
 	// ResultTable is a rendered experiment table.
 	ResultTable = metrics.Table
 )
@@ -284,4 +287,31 @@ func RunCookieChurn(seed int64, clients int) experiments.CookieChurnResult {
 // the legacy goroutine-per-request strategy, for comparison).
 func RunReplayScale(seed int64, requests int, eventDriven bool) experiments.ReplayScaleResult {
 	return experiments.ReplayScale(seed, requests, eventDriven)
+}
+
+// Sweep engine types: many independent scenario variants, each on a private
+// kernel, sharded across a worker pool (DESIGN.md §10).
+type (
+	// SweepVariant is one scenario of a parameter sweep.
+	SweepVariant = experiments.SweepVariant
+	// SweepVariantResult is the outcome of one variant.
+	SweepVariantResult = experiments.VariantResult
+	// SweepResult aggregates a sweep (per-variant results + merged Hist).
+	SweepResult = experiments.SweepResult
+	// ExperimentJSON is the uniform machine-readable result shape the
+	// edgesim scale/sweep subcommands emit.
+	ExperimentJSON = experiments.JSONResult
+)
+
+// RunSweep executes the variants across a worker pool of the given size
+// (procs <= 0 uses GOMAXPROCS; 1 runs serially). Per-variant results are
+// bit-identical regardless of procs.
+func RunSweep(variants []SweepVariant, procs int) SweepResult {
+	return experiments.Sweep{Variants: variants, Procs: procs}.Run()
+}
+
+// WaitingSweepVariants returns the default fig. 9-style variant set: seeds
+// crossed with the with/without-waiting scheduler axis.
+func WaitingSweepVariants(seeds, requests int) []SweepVariant {
+	return experiments.WaitingSweep(seeds, requests)
 }

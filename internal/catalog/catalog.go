@@ -22,6 +22,7 @@ package catalog
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"transparentedge/internal/cluster"
@@ -69,20 +70,30 @@ type Service struct {
 // Keys returns the four service keys in Table I order.
 func Keys() []string { return []string{Asm, Nginx, ResNet, NginxPy} }
 
+// byKey caches the catalog as a map; built once (the catalog is static) and
+// guarded by a sync.Once so parallel sweep workers can call Get concurrently.
+var (
+	byKeyOnce sync.Once
+	byKey     map[string]Service
+)
+
 // Get returns the catalog entry for a key (including the serverless
 // future-work entries).
 func Get(key string) (Service, error) {
-	for _, s := range Services() {
-		if s.Key == key {
-			return s, nil
+	byKeyOnce.Do(func() {
+		byKey = make(map[string]Service)
+		for _, s := range Services() {
+			byKey[s.Key] = s
 		}
-	}
-	for _, s := range WasmServices() {
-		if s.Key == key {
-			return s, nil
+		for _, s := range WasmServices() {
+			byKey[s.Key] = s
 		}
+	})
+	s, ok := byKey[key]
+	if !ok {
+		return Service{}, fmt.Errorf("catalog: unknown service %q", key)
 	}
-	return Service{}, fmt.Errorf("catalog: unknown service %q", key)
+	return s, nil
 }
 
 // WasmServices returns the serverless-module service entries (§VIII future

@@ -1,0 +1,109 @@
+package experiments
+
+import "time"
+
+// JSONResult is the uniform machine-readable shape every edgesim scale/sweep
+// subcommand emits: the experiment kind, an optional variant name and seed,
+// and a flat metric map (durations in milliseconds), so downstream plotting
+// never needs per-experiment parsing.
+type JSONResult struct {
+	Experiment string             `json:"experiment"`
+	Name       string             `json:"name,omitempty"`
+	Seed       int64              `json:"seed,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// JSON returns the uniform result shape.
+func (r ReplayScaleResult) JSON() JSONResult {
+	mode := 1.0
+	if !r.EventDriven {
+		mode = 0
+	}
+	return JSONResult{
+		Experiment: "scale-replay",
+		Metrics: map[string]float64{
+			"requests":       float64(r.Requests),
+			"event_driven":   mode,
+			"wall_ms":        ms(r.Wall),
+			"allocs_per_req": r.AllocsPerRequest,
+			"series_bytes":   float64(r.SeriesBytes),
+			"errors":         float64(r.Errors),
+			"median_ms":      ms(r.Median),
+			"p95_ms":         ms(r.P95),
+			"deployments":    float64(r.Deployments),
+		},
+	}
+}
+
+// JSON returns the uniform result shape.
+func (r DispatchScaleResult) JSON() JSONResult {
+	serial := 0.0
+	if r.Serial {
+		serial = 1
+	}
+	return JSONResult{
+		Experiment: "scale-dispatch",
+		Metrics: map[string]float64{
+			"clusters":    float64(r.Clusters),
+			"serial":      serial,
+			"dispatch_ms": ms(r.Dispatch),
+		},
+	}
+}
+
+// JSON returns the uniform result shape.
+func (r CookieChurnResult) JSON() JSONResult {
+	return JSONResult{
+		Experiment: "scale-churn",
+		Metrics: map[string]float64{
+			"clients":           float64(r.Clients),
+			"peak_cookies":      float64(r.PeakCookies),
+			"peak_client_locs":  float64(r.PeakClientLocs),
+			"peak_memory":       float64(r.PeakMemory),
+			"final_cookies":     float64(r.FinalCookies),
+			"final_client_locs": float64(r.FinalClientLocs),
+			"final_memory":      float64(r.FinalMemory),
+		},
+	}
+}
+
+// JSON returns one uniform entry per variant plus a "merged" aggregate.
+func (r SweepResult) JSON() []JSONResult {
+	out := make([]JSONResult, 0, len(r.Variants)+1)
+	for _, v := range r.Variants {
+		m := map[string]float64{
+			"requests":    float64(v.Requests),
+			"errors":      float64(v.Errors),
+			"deployments": float64(v.Deployments),
+			"median_ms":   ms(v.Median),
+			"p95_ms":      ms(v.P95),
+			"mean_ms":     ms(v.Mean),
+			"max_ms":      ms(v.Max),
+			"wall_ms":     ms(v.Wall),
+			"fingerprint": float64(v.Fingerprint() >> 12), // 52-bit float-safe digest
+		}
+		if v.Err != nil {
+			m["failed"] = 1
+		}
+		out = append(out, JSONResult{
+			Experiment: "sweep",
+			Name:       v.Variant.Label(),
+			Seed:       v.Variant.Seed,
+			Metrics:    m,
+		})
+	}
+	out = append(out, JSONResult{
+		Experiment: "sweep",
+		Name:       "merged",
+		Metrics: map[string]float64{
+			"requests":  float64(r.Merged.Len()),
+			"median_ms": ms(r.Merged.Median()),
+			"p95_ms":    ms(r.Merged.Percentile(95)),
+			"procs":     float64(r.Procs),
+			"wall_ms":   ms(r.Wall),
+		},
+	})
+	return out
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"transparentedge/internal/catalog"
+	"transparentedge/internal/core"
+	"transparentedge/internal/metrics"
+	"transparentedge/internal/testbed"
+	"transparentedge/internal/workload"
+)
+
+// SweepVariant describes one independent scenario of a parameter sweep: a
+// seeded synthetic trace replayed against its own freshly built testbed.
+// Because every variant owns a private sim.Kernel and simnet.Network,
+// variants are deterministic individually and embarrassingly parallel
+// collectively — the fig. 9/10-style comparison pattern (with/without
+// waiting, scheduler policies, cluster counts) at trace scale.
+type SweepVariant struct {
+	// Name labels the variant in results ("" = synthesized from the knobs).
+	Name string
+	// Seed drives both trace generation and testbed randomness.
+	Seed int64
+	// Requests is the synthetic trace length (clamped to a small minimum).
+	Requests int
+	// Scheduler is a core scheduler name ("wait-nearest", "no-wait",
+	// "proximity", "docker-first"; "" = testbed default). "no-wait" vs the
+	// default is the paper's with/without-waiting axis.
+	Scheduler string
+	// Clusters selects the edge topology: 1 = the Docker edge cluster only
+	// (default), 2 = add the far-edge Docker cluster (fig. 3 scenario).
+	Clusters int
+	// LambdaScale multiplies the mean arrival rate (λ): 2 packs the same
+	// trace into half the duration. 0 or 1 leaves the default rate.
+	LambdaScale float64
+	// MaxInFlight bounds concurrently executing requests (0 = unbounded).
+	MaxInFlight int
+	// Cold skips image pre-pull and instance pre-create, so the sweep
+	// measures on-demand deployment costs too.
+	Cold bool
+}
+
+// Label returns the variant's display name.
+func (v SweepVariant) Label() string {
+	if v.Name != "" {
+		return v.Name
+	}
+	sched := v.Scheduler
+	if sched == "" {
+		sched = "default"
+	}
+	return fmt.Sprintf("seed%d/%s", v.Seed, sched)
+}
+
+// VariantResult is the outcome of one sweep variant.
+type VariantResult struct {
+	Variant SweepVariant
+	// Err records a setup failure (unknown scheduler, replay error); the
+	// metrics fields are zero when set.
+	Err error
+	// Requests is the actual replayed trace length (after clamping).
+	Requests    int
+	Errors      int
+	Deployments int
+	Median      time.Duration
+	P95         time.Duration
+	Mean        time.Duration
+	Max         time.Duration
+	// Wall is the host wall-clock time this variant took (excluded from
+	// the fingerprint: it is the only nondeterministic output).
+	Wall time.Duration
+	// Totals is the variant's full latency distribution, ready to Merge.
+	Totals *metrics.Hist
+}
+
+// Fingerprint digests every deterministic output of the variant. Running the
+// same variant serially or on any worker of a parallel sweep must produce
+// the same fingerprint bit for bit.
+func (r VariantResult) Fingerprint() uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(r.Requests))
+	mix(uint64(r.Errors))
+	mix(uint64(r.Deployments))
+	mix(uint64(r.Median))
+	mix(uint64(r.P95))
+	mix(uint64(r.Mean))
+	mix(uint64(r.Max))
+	if r.Totals != nil {
+		mix(r.Totals.Fingerprint())
+	}
+	return h
+}
+
+// runVariant builds the variant's private testbed and replays its trace.
+func runVariant(v SweepVariant) VariantResult {
+	res := VariantResult{Variant: v}
+	requests := v.Requests
+	if requests < 8*2 {
+		requests = 8 * 2
+	}
+	res.Requests = requests
+	cfg := replayScaleConfig(v.Seed, requests)
+	if v.LambdaScale > 0 && v.LambdaScale != 1 {
+		cfg.Duration = time.Duration(float64(cfg.Duration) / v.LambdaScale)
+	}
+	opts := testbed.Options{
+		Seed:          v.Seed,
+		EnableDocker:  true,
+		EnableFarEdge: v.Clusters >= 2,
+	}
+	if v.Scheduler != "" {
+		sched, err := core.NewScheduler(v.Scheduler)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		opts.Scheduler = sched
+	}
+	trace := workload.Generate(cfg)
+	tb := testbed.New(opts)
+	start := time.Now()
+	out, err := workload.ReplayWith(tb, trace, catalog.Nginx, workload.Options{
+		PrePull:     !v.Cold,
+		PreCreate:   !v.Cold,
+		MaxInFlight: v.MaxInFlight,
+	})
+	res.Wall = time.Since(start)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Errors = out.Errors
+	res.Deployments = out.FirstRequests.Len()
+	res.Median = out.Totals.Median()
+	res.P95 = out.Totals.Percentile(95)
+	res.Mean = out.Totals.Mean()
+	res.Max = out.Totals.Max()
+	res.Totals = out.Totals.ToHist()
+	res.Totals.Name = v.Label()
+	return res
+}
+
+// Sweep runs a set of variants across a bounded worker pool.
+type Sweep struct {
+	Variants []SweepVariant
+	// Procs bounds the worker pool; <= 0 means GOMAXPROCS. 1 runs the
+	// variants serially (the baseline BenchmarkSweep compares against).
+	Procs int
+}
+
+// SweepResult aggregates a sweep run.
+type SweepResult struct {
+	// Variants holds per-variant results in input order (independent of
+	// completion order).
+	Variants []VariantResult
+	// Merged is the union latency distribution across all variants (exact
+	// bucket merge; see metrics.Hist.Merge).
+	Merged *metrics.Hist
+	// Procs is the worker count actually used; Wall the host wall clock of
+	// the whole sweep.
+	Procs int
+	Wall  time.Duration
+}
+
+// Run executes the sweep: variants are dealt to Procs workers over a
+// channel, each worker running whole variants on its own kernels. Results
+// land in input order, so the output is deterministic regardless of worker
+// scheduling.
+func (s Sweep) Run() SweepResult {
+	procs := s.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if procs > len(s.Variants) {
+		procs = len(s.Variants)
+	}
+	start := time.Now()
+	results := make([]VariantResult, len(s.Variants))
+	if procs <= 1 {
+		for i, v := range s.Variants {
+			results[i] = runVariant(v)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < procs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = runVariant(s.Variants[i])
+				}
+			}()
+		}
+		for i := range s.Variants {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	merged := metrics.NewHist("sweep/merged")
+	for i := range results {
+		// Same bucket config everywhere; Merge only fails on mismatched
+		// configs, which per-variant ToHist folds cannot produce.
+		if err := merged.Merge(results[i].Totals); err != nil {
+			panic(err)
+		}
+	}
+	return SweepResult{
+		Variants: results,
+		Merged:   merged,
+		Procs:    procs,
+		Wall:     time.Since(start),
+	}
+}
+
+// WaitingSweep returns the default fig. 9-style variant set: seeds × the
+// with/without-waiting scheduler axis (wait-nearest holds the first request
+// until the nearest deployment is ready; no-wait answers from wherever the
+// service already runs).
+func WaitingSweep(seeds int, requests int) []SweepVariant {
+	if seeds <= 0 {
+		seeds = 4
+	}
+	if requests <= 0 {
+		requests = 2000
+	}
+	var vs []SweepVariant
+	for s := 0; s < seeds; s++ {
+		for _, sched := range []string{"wait-nearest", "no-wait"} {
+			vs = append(vs, SweepVariant{
+				Name:      fmt.Sprintf("seed%d/%s", s+1, sched),
+				Seed:      int64(s + 1),
+				Requests:  requests,
+				Scheduler: sched,
+				Clusters:  2,
+			})
+		}
+	}
+	return vs
+}
+
+// String renders the sweep outcome as a table.
+func (r SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep of %d variants on %d workers (%v wall)\n",
+		len(r.Variants), r.Procs, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-24s %10s %8s %8s %10s %10s\n",
+		"variant", "requests", "errors", "deploys", "median", "p95")
+	for _, v := range r.Variants {
+		if v.Err != nil {
+			fmt.Fprintf(&b, "  %-24s failed: %v\n", v.Variant.Label(), v.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-24s %10d %8d %8d %10v %10v\n",
+			v.Variant.Label(), v.Requests, v.Errors, v.Deployments,
+			v.Median.Round(time.Microsecond), v.P95.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "  %-24s %10d %8s %8s %10v %10v\n", "merged",
+		r.Merged.Len(), "-", "-",
+		r.Merged.Median().Round(time.Microsecond),
+		r.Merged.Percentile(95).Round(time.Microsecond))
+	return b.String()
+}

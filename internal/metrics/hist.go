@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/bits"
 	"time"
@@ -29,50 +31,78 @@ type Hist struct {
 	min    time.Duration
 	max    time.Duration
 	sumsq  float64
+	// subBits is the per-histogram sub-bucket resolution; 0 means the
+	// package default (histSubBits). Histograms with different resolutions
+	// have incompatible bucket layouts and refuse to Merge.
+	subBits uint8
 }
 
-// NewHist returns an empty named histogram.
+// NewHist returns an empty named histogram with the default resolution.
 func NewHist(name string) *Hist { return &Hist{Name: name} }
 
-// histIndex maps a duration to its bucket: values below histSubBuckets get
-// exact unit buckets; above, the bucket keys on the exponent and the top
-// histSubBits mantissa bits.
-func histIndex(v time.Duration) int {
+// NewHistSub returns an empty named histogram whose octaves are split into
+// 2^subBits linear sub-buckets (relative quantile error ≤ 2^-subBits).
+// subBits must be in [1, 20].
+func NewHistSub(name string, subBits int) *Hist {
+	if subBits < 1 || subBits > 20 {
+		panic(fmt.Sprintf("metrics: subBits %d out of range [1,20]", subBits))
+	}
+	return &Hist{Name: name, subBits: uint8(subBits)}
+}
+
+// sb returns the effective sub-bucket bits of this histogram.
+func (h *Hist) sb() uint {
+	if h.subBits == 0 {
+		return histSubBits
+	}
+	return uint(h.subBits)
+}
+
+// histIndexSub maps a duration to its bucket under sb sub-bucket bits:
+// values below 2^sb get exact unit buckets; above, the bucket keys on the
+// exponent and the top sb mantissa bits.
+func histIndexSub(v time.Duration, sb uint) int {
 	if v <= 0 {
 		return 0
 	}
 	uv := uint64(v)
-	e := bits.Len64(uv) - 1
-	if e < histSubBits {
+	e := uint(bits.Len64(uv) - 1)
+	if e < sb {
 		return int(uv)
 	}
-	m := (uv >> (uint(e) - histSubBits)) - histSubBuckets
-	return int((uint64(e)-histSubBits+1)<<histSubBits + m)
+	m := (uv >> (e - sb)) - 1<<sb
+	return int((uint64(e)-uint64(sb)+1)<<sb + m)
 }
 
-// histLower returns the smallest duration mapping to bucket idx.
-func histLower(idx int) time.Duration {
-	if idx < histSubBuckets {
+// histLowerSub returns the smallest duration mapping to bucket idx.
+func histLowerSub(idx int, sb uint) time.Duration {
+	if idx < 1<<sb {
 		return time.Duration(idx)
 	}
-	e := histSubBits + (idx>>histSubBits - 1)
-	m := idx & (histSubBuckets - 1)
-	return time.Duration((uint64(histSubBuckets) + uint64(m)) << uint(e-histSubBits))
+	e := int(sb) + (idx>>sb - 1)
+	m := idx & (1<<sb - 1)
+	return time.Duration((uint64(1)<<sb + uint64(m)) << (uint(e) - sb))
 }
 
-// histWidth returns the number of distinct durations mapping to bucket idx.
-func histWidth(idx int) time.Duration {
-	if idx < histSubBuckets {
+// histWidthSub returns the number of distinct durations mapping to bucket idx.
+func histWidthSub(idx int, sb uint) time.Duration {
+	if idx < 1<<sb {
 		return 1
 	}
-	return time.Duration(uint64(1) << uint(idx>>histSubBits-1))
+	return time.Duration(uint64(1) << uint(idx>>sb-1))
 }
+
+// Default-resolution helpers (kept for tests and callers that never vary
+// the bucket config).
+func histIndex(v time.Duration) int   { return histIndexSub(v, histSubBits) }
+func histLower(idx int) time.Duration { return histLowerSub(idx, histSubBits) }
+func histWidth(idx int) time.Duration { return histWidthSub(idx, histSubBits) }
 
 // Add records one sample. The timestamp is accepted for Series
 // compatibility but not retained: a histogram has no per-sample memory.
 func (h *Hist) Add(at, value time.Duration) {
 	_ = at
-	idx := histIndex(value)
+	idx := histIndexSub(value, h.sb())
 	if idx >= len(h.counts) {
 		grown := make([]uint64, idx+1)
 		copy(grown, h.counts)
@@ -136,14 +166,15 @@ func (h *Hist) Percentile(p float64) time.Duration {
 	}
 	target := p / 100 * float64(h.total-1)
 	var cum float64
+	sb := h.sb()
 	for idx, c := range h.counts {
 		if c == 0 {
 			continue
 		}
 		fc := float64(c)
 		if cum+fc > target {
-			v := histLower(idx)
-			if w := histWidth(idx); w > 1 {
+			v := histLowerSub(idx, sb)
+			if w := histWidthSub(idx, sb); w > 1 {
 				frac := (target - cum + 0.5) / fc
 				v += time.Duration(frac * float64(w))
 			}
@@ -163,4 +194,79 @@ func (h *Hist) Percentile(p float64) time.Duration {
 // RetainedBytes reports the histogram's approximate memory footprint.
 func (h *Hist) RetainedBytes() int {
 	return len(h.counts)*8 + 64
+}
+
+// Fingerprint returns an FNV-1a digest of the histogram's bucket state and
+// exact statistics. Two histograms that saw the same sample multiset (in any
+// order) fingerprint identically; it is the bit-identity check the sweep
+// engine uses to prove serial and parallel runs produced the same metrics.
+func (h *Hist) Fingerprint() uint64 {
+	f := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		f.Write(buf[:])
+	}
+	word(uint64(h.sb()))
+	word(h.total)
+	word(uint64(h.sum))
+	word(uint64(h.min))
+	word(uint64(h.max))
+	word(math.Float64bits(h.sumsq))
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		word(uint64(i))
+		word(c)
+	}
+	return f.Sum64()
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Hist) Clone() *Hist {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// Merge folds other's samples into h. Because both histograms bucket with
+// the same scheme, merging bucket counts is exact: the merged histogram is
+// bit-identical to one that had seen every sample directly, so the ≤1.6%
+// quantile error bound survives any merge tree (the property the parallel
+// sweep engine relies on when aggregating per-variant results).
+//
+// Histograms with different sub-bucket resolutions have incompatible bucket
+// layouts: merging them is rejected with an error — except into an *empty*
+// receiver, which is normalized by adopting other's configuration first.
+// other is not modified; merging a nil or empty other is a no-op.
+func (h *Hist) Merge(other *Hist) error {
+	if other == nil || other.total == 0 {
+		return nil
+	}
+	if h.total == 0 {
+		h.subBits = other.subBits
+	}
+	if h.sb() != other.sb() {
+		return fmt.Errorf("metrics: cannot merge histograms with different bucket configs (2^%d vs 2^%d sub-buckets)",
+			h.sb(), other.sb())
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.sumsq += other.sumsq
+	return nil
 }

@@ -261,3 +261,117 @@ func TestSortedMemoizedAndInvalidated(t *testing.T) {
 		t.Fatalf("P100 after Add = %v, want 40ms — stale cache?", got)
 	}
 }
+
+func TestHistMergeProperty(t *testing.T) {
+	// Property: splitting a sample stream into k parts, histogramming each
+	// part independently, and merging must (a) reproduce the single-hist
+	// bucket state bit-identically and (b) keep every quantile within the
+	// 1/histSubBuckets relative error bound of the exact merged Series.
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(6)
+		n := 500 + rng.Intn(5000)
+		exact := NewSeries("merged")
+		whole := NewHist("whole")
+		parts := make([]*Hist, k)
+		for i := range parts {
+			parts[i] = NewHist("part")
+		}
+		for i := 0; i < n; i++ {
+			v := time.Duration(float64(time.Microsecond) *
+				math.Pow(10, rng.Float64()*5))
+			exact.Add(0, v)
+			whole.Add(0, v)
+			parts[rng.Intn(k)].Add(0, v)
+		}
+		merged := NewHist("merged")
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+		}
+		if merged.Len() != exact.Len() || merged.Min() != whole.Min() ||
+			merged.Max() != whole.Max() || merged.Mean() != whole.Mean() {
+			t.Fatalf("merged summary stats diverge from whole histogram")
+		}
+		if len(merged.counts) != len(whole.counts) {
+			t.Fatalf("bucket count mismatch: merged %d whole %d",
+				len(merged.counts), len(whole.counts))
+		}
+		for i := range whole.counts {
+			if merged.counts[i] != whole.counts[i] {
+				t.Fatalf("bucket %d: merged %d whole %d", i, merged.counts[i], whole.counts[i])
+			}
+		}
+		for _, p := range []float64{1, 25, 50, 75, 95, 99} {
+			want := float64(exact.Percentile(p))
+			got := float64(merged.Percentile(p))
+			if want == 0 {
+				continue
+			}
+			rel := math.Abs(got-want) / want
+			if rel > 1.0/histSubBuckets {
+				t.Errorf("trial %d P%v: exact %v merged %v rel err %.4f",
+					trial, p, time.Duration(want), time.Duration(got), rel)
+			}
+		}
+	}
+}
+
+func TestHistMergeConfigMismatch(t *testing.T) {
+	coarse := NewHistSub("coarse", 4)
+	fine := NewHist("fine") // default histSubBits = 6
+	coarse.Add(0, time.Millisecond)
+	fine.Add(0, time.Millisecond)
+	if err := fine.Merge(coarse); err == nil {
+		t.Fatal("merging mismatched bucket configs must fail")
+	}
+	// An empty receiver normalizes by adopting the other config.
+	empty := NewHist("empty")
+	if err := empty.Merge(coarse); err != nil {
+		t.Fatalf("empty receiver should adopt config: %v", err)
+	}
+	if empty.sb() != coarse.sb() || empty.Len() != 1 {
+		t.Fatalf("adopted sb=%d len=%d, want sb=%d len=1", empty.sb(), empty.Len(), coarse.sb())
+	}
+	// And having adopted, further mismatched merges are rejected.
+	if err := empty.Merge(fine); err == nil {
+		t.Fatal("post-adoption mismatched merge must fail")
+	}
+}
+
+func TestHistMergeEmptyOther(t *testing.T) {
+	h := NewHist("x")
+	h.Add(0, 10)
+	if err := h.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(NewHist("y")); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 || h.Min() != 10 || h.Max() != 10 {
+		t.Fatal("merging empty/nil must be a no-op")
+	}
+}
+
+func TestSeriesToHist(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSeries("x")
+	for i := 0; i < 1000; i++ {
+		s.Add(0, time.Duration(rng.Intn(int(time.Second))))
+	}
+	h := s.ToHist()
+	if h.Len() != s.Len() || h.Min() != s.Min() || h.Max() != s.Max() || h.Mean() != s.Mean() {
+		t.Fatal("ToHist summary stats diverge from series")
+	}
+	// Folded bounded series: ToHist must return an independent copy.
+	b := NewBoundedSeries("b", 10)
+	for i := 0; i < 50; i++ {
+		b.Add(0, time.Duration(i+1))
+	}
+	hb := b.ToHist()
+	hb.Add(0, time.Hour)
+	if b.Max() == time.Hour {
+		t.Fatal("ToHist copy is not independent of the series")
+	}
+}

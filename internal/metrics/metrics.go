@@ -208,6 +208,20 @@ func (s *Series) Stddev() time.Duration {
 	return time.Duration(math.Sqrt(acc / float64(n)))
 }
 
+// ToHist returns the series' samples as a log-bucketed Hist: a copy of the
+// internal histogram once folded, or a fresh fold of the retained samples.
+// The result is independent of the series and safe to Merge elsewhere.
+func (s *Series) ToHist() *Hist {
+	if s.hist != nil {
+		return s.hist.Clone()
+	}
+	h := NewHist(s.Name)
+	for _, smp := range s.samples {
+		h.Add(smp.At, smp.Value)
+	}
+	return h
+}
+
 // RetainedBytes reports the approximate memory retained by the series —
 // proportional to the sample count in exact mode, fixed in histogram mode.
 func (s *Series) RetainedBytes() int {

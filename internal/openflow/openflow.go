@@ -223,6 +223,17 @@ type Switch struct {
 	nextCookie uint64
 	// PacketsIn counts packets punted to the controller (diagnostics).
 	PacketsIn uint64
+	// FIFO of packets waiting out the FwdDelay pipeline stage. FwdDelay is
+	// constant, so pooled AfterFree events with a persistent drain thunk
+	// preserve arrival order without a per-packet closure.
+	fifo     []pendingPkt
+	fifoHead int
+	drainFn  func()
+}
+
+type pendingPkt struct {
+	inPort int
+	pkt    *simnet.Packet
 }
 
 // NewSwitch creates a switch node.
@@ -237,6 +248,7 @@ func NewSwitch(n *simnet.Network, name string, cfg Config) *Switch {
 		routes:     make(map[simnet.Addr]int),
 		defaultOut: -1,
 	}
+	s.drainFn = s.drainOne
 	n.Register(s)
 	return s
 }
@@ -415,12 +427,23 @@ func (s *Switch) DeleteFlows(cookie uint64) int {
 // HandlePacket implements simnet.Node: run the packet through the table.
 func (s *Switch) HandlePacket(in *simnet.Port, pkt *simnet.Packet) {
 	inPort := s.portOf[in]
-	deliver := func() { s.process(inPort, pkt) }
 	if s.cfg.FwdDelay > 0 {
-		s.net.K.AfterFree(s.cfg.FwdDelay, deliver)
+		s.fifo = append(s.fifo, pendingPkt{inPort, pkt})
+		s.net.K.AfterFree(s.cfg.FwdDelay, s.drainFn)
 		return
 	}
-	deliver()
+	s.process(inPort, pkt)
+}
+
+func (s *Switch) drainOne() {
+	e := s.fifo[s.fifoHead]
+	s.fifo[s.fifoHead] = pendingPkt{}
+	s.fifoHead++
+	if s.fifoHead == len(s.fifo) {
+		s.fifo = s.fifo[:0]
+		s.fifoHead = 0
+	}
+	s.process(e.inPort, e.pkt)
 }
 
 func (s *Switch) process(inPort int, pkt *simnet.Packet) {

@@ -185,6 +185,44 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 	return k.At(k.now+d, fn)
 }
 
+// NewEvent returns an unscheduled, re-armable event bound to fn. Arm it with
+// Schedule; after it fires (or is cancelled) it can be armed again. Reusing
+// one Event for a recurring timer keeps repeated scheduling allocation-free,
+// which is what the simnet transfer path does per packet.
+func (k *Kernel) NewEvent(fn func()) *Event {
+	return &Event{k: k, fn: fn, fired: true, index: -1}
+}
+
+// Schedule arms e at absolute simulation time t with a fresh sequence
+// number. If e is already queued it is moved (rescheduled) in place; if it
+// was cancelled but not yet drained from the queue it is resurrected; if it
+// already fired (or was never armed) it is pushed anew. Scheduling in the
+// past panics.
+func (k *Kernel) Schedule(e *Event, t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if e.k != k {
+		panic("sim: Schedule on an event from another kernel")
+	}
+	e.when = t
+	e.seq = k.seq
+	k.seq++
+	if e.index >= 0 { // still physically queued
+		if e.cancelled || e.fired {
+			e.cancelled = false
+			e.fired = false
+			k.live++
+		}
+		heap.Fix(&k.queue, e.index)
+		return
+	}
+	e.cancelled = false
+	e.fired = false
+	k.live++
+	heap.Push(&k.queue, e)
+}
+
 // Defer schedules fn to run at the current simulation time, after every
 // event already scheduled for this instant — exactly like After(0, fn) but
 // with no cancellation handle and no per-event allocation: the entry lands

@@ -433,3 +433,123 @@ func TestDeterminismMixedSources(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduleReArm(t *testing.T) {
+	// One event object re-armed across firings: the recurring-timer pattern
+	// the simnet transfer pool uses (serialize stage, then latency stage).
+	k := New(1)
+	var fired []Time
+	var e *Event
+	e = k.NewEvent(func() {
+		fired = append(fired, k.Now())
+		if len(fired) < 3 {
+			k.Schedule(e, k.Now()+10)
+		}
+	})
+	k.Schedule(e, 5)
+	k.Run()
+	if len(fired) != 3 || fired[0] != 5 || fired[1] != 15 || fired[2] != 25 {
+		t.Fatalf("fired = %v, want [5 15 25]", fired)
+	}
+}
+
+func TestScheduleMovesQueuedEvent(t *testing.T) {
+	// Scheduling an already-queued event moves it instead of duplicating.
+	k := New(1)
+	n := 0
+	e := k.NewEvent(func() { n++ })
+	k.Schedule(e, 100)
+	k.Schedule(e, 10) // earlier
+	k.Schedule(e, 50) // later again
+	fired := Time(-1)
+	k.At(50, func() {})
+	k.Run()
+	_ = fired
+	if n != 1 {
+		t.Fatalf("event fired %d times, want 1", n)
+	}
+}
+
+func TestScheduleResurrectsCancelledEvent(t *testing.T) {
+	k := New(1)
+	n := 0
+	e := k.NewEvent(func() { n++ })
+	k.Schedule(e, 10)
+	e.Cancel()
+	k.Schedule(e, 20)
+	k.Run()
+	if n != 1 {
+		t.Fatalf("event fired %d times, want 1 (cancel then re-arm)", n)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("fired at %v, want 20", k.Now())
+	}
+}
+
+func TestScheduleOrderingAgainstOtherEvents(t *testing.T) {
+	// Re-armed events get fresh sequence numbers: at an equal timestamp
+	// they run after events scheduled earlier, preserving global FIFO.
+	k := New(1)
+	var order []string
+	e := k.NewEvent(func() { order = append(order, "rearmed") })
+	k.At(10, func() { order = append(order, "first") })
+	k.Schedule(e, 10)
+	k.Run()
+	if len(order) != 2 || order[0] != "first" || order[1] != "rearmed" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestScheduleEventPastPanics(t *testing.T) {
+	k := New(1)
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Schedule in the past must panic")
+			}
+		}()
+		e := k.NewEvent(func() {})
+		k.Schedule(e, 5)
+	})
+	k.Run()
+}
+
+func TestScheduleForeignKernelPanics(t *testing.T) {
+	k1 := New(1)
+	k2 := New(2)
+	e := k1.NewEvent(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule on a foreign kernel's event must panic")
+		}
+	}()
+	k2.Schedule(e, 10)
+}
+
+func TestChanRingReusesCapacity(t *testing.T) {
+	// Steady-state send/recv cycles must not grow the channel's buffers.
+	k := New(1)
+	c := NewChan[int](k)
+	sum := 0
+	k.Go("recv", func(p *Proc) {
+		for {
+			v, ok := c.Recv(p)
+			if !ok {
+				return
+			}
+			sum += v
+		}
+	})
+	for i := 1; i <= 100; i++ {
+		i := i
+		k.At(Time(i), func() { c.Send(i) })
+	}
+	k.At(200, func() { c.Close() })
+	k.Run()
+	if sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after drain", c.Len())
+	}
+}

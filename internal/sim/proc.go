@@ -16,6 +16,10 @@ type Proc struct {
 	resume chan func() // kernel -> proc: wake up (optionally run a handoff check)
 	parked chan struct{}
 	dead   bool
+	// wakeFn is the plain wake(nil) thunk, allocated once per process so the
+	// hot wake paths (Sleep, Chan, Promise, Signal, WaitGroup) can schedule
+	// it without a fresh closure per wake-up.
+	wakeFn func()
 }
 
 // Kernel returns the kernel this process runs on.
@@ -36,6 +40,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan func()),
 		parked: make(chan struct{}),
 	}
+	p.wakeFn = func() { p.wake(nil) }
 	k.Defer(func() { p.start(fn) })
 	return p
 }
@@ -81,7 +86,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.k.AfterFree(d, func() { p.wake(nil) })
+	p.k.AfterFree(d, p.wakeFn)
 	p.yield()
 }
 
@@ -133,8 +138,7 @@ func (pr *Promise[T]) complete(v T, err error) {
 	cbs := pr.callback
 	pr.callback = nil
 	for _, w := range waiters {
-		w := w
-		pr.k.Defer(func() { w.wake(nil) })
+		pr.k.Defer(w.wakeFn)
 	}
 	for _, cb := range cbs {
 		cb := cb
@@ -165,10 +169,16 @@ func (pr *Promise[T]) OnDone(fn func(T, error)) {
 // Chan is an unbounded FIFO message queue whose Recv blocks the receiving
 // process in virtual time. Sends never block (infinite buffer), which is the
 // common need in protocol simulations; use TryRecv for polling.
+// The buffer and waiter queues are head-indexed rings rather than
+// reslice-on-pop ([1:]) windows: popping resets to the slice start once
+// drained, so steady-state Send/Recv traffic reuses capacity instead of
+// allocating a fresh backing array per round trip.
 type Chan[T any] struct {
 	k       *Kernel
 	buf     []T
+	head    int
 	waiters []*Proc
+	whead   int
 	closed  bool
 }
 
@@ -176,7 +186,7 @@ type Chan[T any] struct {
 func NewChan[T any](k *Kernel) *Chan[T] { return &Chan[T]{k: k} }
 
 // Len returns the number of buffered items.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.head }
 
 // Send enqueues v and wakes one waiting receiver (if any).
 func (c *Chan[T]) Send(v T) {
@@ -194,30 +204,45 @@ func (c *Chan[T]) Close() {
 		return
 	}
 	c.closed = true
-	for _, w := range c.waiters {
-		w := w
-		c.k.Defer(func() { w.wake(nil) })
+	for _, w := range c.waiters[c.whead:] {
+		c.k.Defer(w.wakeFn)
 	}
 	c.waiters = nil
+	c.whead = 0
 }
 
 func (c *Chan[T]) wakeOne() {
-	if len(c.waiters) == 0 {
+	if c.whead == len(c.waiters) {
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.k.Defer(func() { w.wake(nil) })
+	w := c.waiters[c.whead]
+	c.waiters[c.whead] = nil
+	c.whead++
+	if c.whead == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.whead = 0
+	}
+	c.k.Defer(w.wakeFn)
+}
+
+func (c *Chan[T]) pop() T {
+	v := c.buf[c.head]
+	var zero T
+	c.buf[c.head] = zero
+	c.head++
+	if c.head == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.head = 0
+	}
+	return v
 }
 
 // Recv blocks until an item is available (or the channel is closed and
 // drained) and returns it.
 func (c *Chan[T]) Recv(p *Proc) (T, bool) {
 	for {
-		if len(c.buf) > 0 {
-			v := c.buf[0]
-			c.buf = c.buf[1:]
-			return v, true
+		if c.Len() > 0 {
+			return c.pop(), true
 		}
 		if c.closed {
 			var zero T
@@ -230,13 +255,11 @@ func (c *Chan[T]) Recv(p *Proc) (T, bool) {
 
 // TryRecv returns an item without blocking; ok is false if none buffered.
 func (c *Chan[T]) TryRecv() (T, bool) {
-	if len(c.buf) == 0 {
+	if c.Len() == 0 {
 		var zero T
 		return zero, false
 	}
-	v := c.buf[0]
-	c.buf = c.buf[1:]
-	return v, true
+	return c.pop(), true
 }
 
 // Signal is a broadcast condition: every Wait blocks until the next
@@ -254,8 +277,7 @@ func (s *Signal) Broadcast() {
 	ws := s.waiters
 	s.waiters = nil
 	for _, w := range ws {
-		w := w
-		s.k.Defer(func() { w.wake(nil) })
+		s.k.Defer(w.wakeFn)
 	}
 }
 
@@ -285,8 +307,7 @@ func (wg *WaitGroup) Add(delta int) {
 		ws := wg.waiters
 		wg.waiters = nil
 		for _, w := range ws {
-			w := w
-			wg.k.Defer(func() { w.wake(nil) })
+			wg.k.Defer(w.wakeFn)
 		}
 	}
 }

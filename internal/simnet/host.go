@@ -40,6 +40,12 @@ type Host struct {
 	// ProcDelay is the per-packet processing overhead of this host's stack
 	// (e.g. Raspberry Pi clients are slower than the EGS).
 	ProcDelay time.Duration
+	// outq is the FIFO of packets waiting out the ProcDelay stage; drainFn
+	// is the persistent drain thunk (ProcDelay is constant per host, so
+	// pooled AfterFree events preserve send order).
+	outq    []*Packet
+	outHead int
+	drainFn func()
 }
 
 // NewHost creates a host with the given name and IP and registers it.
@@ -52,6 +58,7 @@ func NewHost(n *Network, name string, ip Addr) *Host {
 		conns:     make(map[fourTuple]*Conn),
 		ephemeral: 32768,
 	}
+	h.drainFn = h.drainOut
 	n.Register(h)
 	return h
 }
@@ -92,8 +99,9 @@ func (h *Host) Listen(port int, accept func(p *sim.Proc, c *Conn)) *Listener {
 		panic(fmt.Sprintf("simnet: %s: duplicate listener on port %d", h.name, port))
 	}
 	l := &Listener{host: h, port: port}
+	name := fmt.Sprintf("%s:accept:%d", h.name, port)
 	l.accept = func(c *Conn) {
-		h.net.K.Go(fmt.Sprintf("%s:accept:%d", h.name, port), func(p *sim.Proc) {
+		h.net.K.Go(name, func(p *sim.Proc) {
 			accept(p, c)
 		})
 	}
@@ -148,8 +156,21 @@ func (h *Host) sendOut(pkt *Packet) {
 	}
 	pkt.ID = h.net.NextPacketID()
 	if h.ProcDelay > 0 {
-		h.net.K.AfterFree(h.ProcDelay, func() { h.uplink.Send(pkt) })
+		h.outq = append(h.outq, pkt)
+		h.net.K.AfterFree(h.ProcDelay, h.drainFn)
 		return
+	}
+	h.uplink.Send(pkt)
+}
+
+// drainOut sends the oldest queued packet after its ProcDelay elapsed.
+func (h *Host) drainOut() {
+	pkt := h.outq[h.outHead]
+	h.outq[h.outHead] = nil
+	h.outHead++
+	if h.outHead == len(h.outq) {
+		h.outq = h.outq[:0]
+		h.outHead = 0
 	}
 	h.uplink.Send(pkt)
 }
@@ -169,10 +190,9 @@ func (h *Host) Dial(p *sim.Proc, dst Addr, port int, timeout time.Duration) (*Co
 		estab:  sim.NewPromise[bool](h.net.K),
 	}
 	h.conns[fourTuple{c.local, c.remote}] = c
-	syn := &Packet{
-		Kind: KindSYN, SrcIP: h.ip, DstIP: dst,
-		SrcPort: lp, DstPort: port, Size: minWireSize,
-	}
+	syn := h.net.NewPacket()
+	syn.Kind, syn.SrcIP, syn.DstIP = KindSYN, h.ip, dst
+	syn.SrcPort, syn.DstPort, syn.Size = lp, port, minWireSize
 	h.sendOut(syn)
 	var timer *sim.Event
 	if timeout > 0 {
@@ -207,18 +227,21 @@ func (h *Host) HandlePacket(in *Port, pkt *Packet) {
 	case KindSYN:
 		if c, ok := h.conns[key]; ok && !c.closed {
 			// Duplicate SYN (e.g. retry); re-acknowledge idempotently.
+			h.net.FreePacket(pkt)
 			h.replySYNACK(c)
 			return
 		}
 		l, ok := h.listeners[pkt.DstPort]
 		if !ok || l.closed {
-			rst := &Packet{
-				Kind: KindRST, SrcIP: pkt.DstIP, DstIP: pkt.SrcIP,
-				SrcPort: pkt.DstPort, DstPort: pkt.SrcPort, Size: minWireSize,
-			}
-			h.sendOut(rst)
+			// Reuse the consumed SYN as the RST reply.
+			pkt.Kind = KindRST
+			pkt.SrcIP, pkt.DstIP = pkt.DstIP, pkt.SrcIP
+			pkt.SrcPort, pkt.DstPort = pkt.DstPort, pkt.SrcPort
+			pkt.Size = minWireSize
+			h.sendOut(pkt)
 			return
 		}
+		h.net.FreePacket(pkt)
 		c := &Conn{
 			host:   h,
 			local:  key.local,
@@ -234,6 +257,7 @@ func (h *Host) HandlePacket(in *Port, pkt *Packet) {
 		if c, ok := h.conns[key]; ok && !c.estab.Done() {
 			c.estab.Resolve(true)
 		}
+		h.net.FreePacket(pkt)
 	case KindRST:
 		if c, ok := h.conns[key]; ok {
 			c.refused = true
@@ -245,9 +269,12 @@ func (h *Host) HandlePacket(in *Port, pkt *Packet) {
 			}
 			delete(h.conns, key)
 		}
+		h.net.FreePacket(pkt)
 	case KindDATA:
 		if c, ok := h.conns[key]; ok && !c.closed {
-			c.deliverInOrder(pkt)
+			c.deliverInOrder(pkt) // ownership moves to the conn; freed by Recv
+		} else {
+			h.net.FreePacket(pkt)
 		}
 	case KindFIN:
 		if c, ok := h.conns[key]; ok {
@@ -256,14 +283,15 @@ func (h *Host) HandlePacket(in *Port, pkt *Packet) {
 			c.finSeq = pkt.Seq
 			c.maybeFinish()
 		}
+		h.net.FreePacket(pkt)
 	}
 }
 
 func (h *Host) replySYNACK(c *Conn) {
-	h.sendOut(&Packet{
-		Kind: KindSYNACK, SrcIP: c.local.ip, DstIP: c.remote.ip,
-		SrcPort: c.local.port, DstPort: c.remote.port, Size: minWireSize,
-	})
+	sa := h.net.NewPacket()
+	sa.Kind, sa.SrcIP, sa.DstIP = KindSYNACK, c.local.ip, c.remote.ip
+	sa.SrcPort, sa.DstPort, sa.Size = c.local.port, c.remote.port, minWireSize
+	h.sendOut(sa)
 }
 
 // Send transmits an application message of the given size on the connection.
@@ -274,11 +302,11 @@ func (c *Conn) Send(size Bytes, payload any) error {
 		return ErrConnClosed
 	}
 	c.sendSeq++
-	c.host.sendOut(&Packet{
-		Kind: KindDATA, SrcIP: c.local.ip, DstIP: c.remote.ip,
-		SrcPort: c.local.port, DstPort: c.remote.port,
-		Size: size, Payload: payload, Seq: c.sendSeq,
-	})
+	d := c.host.net.NewPacket()
+	d.Kind, d.SrcIP, d.DstIP = KindDATA, c.local.ip, c.remote.ip
+	d.SrcPort, d.DstPort = c.local.port, c.remote.port
+	d.Size, d.Payload, d.Seq = size, payload, c.sendSeq
+	c.host.sendOut(d)
 	return nil
 }
 
@@ -288,6 +316,15 @@ func (c *Conn) deliverInOrder(pkt *Packet) {
 	if pkt.Seq == 0 {
 		// Unsequenced segment (raw Port.Send without a Conn): pass through.
 		c.rx.Send(pkt)
+		return
+	}
+	if pkt.Seq == c.recvNext+1 && len(c.oooBuf) == 0 {
+		// In-order arrival with nothing buffered — the common case; skip
+		// the reorder buffer entirely (it is allocated lazily, only when a
+		// connection actually sees out-of-order delivery).
+		c.recvNext++
+		c.rx.Send(pkt)
+		c.maybeFinish()
 		return
 	}
 	if c.oooBuf == nil {
@@ -326,7 +363,9 @@ func (c *Conn) Recv(p *sim.Proc, timeout time.Duration) (any, error) {
 		if !ok {
 			return nil, ErrConnClosed
 		}
-		return pkt.Payload, nil
+		payload := pkt.Payload
+		c.host.net.FreePacket(pkt)
+		return payload, nil
 	}
 	done := sim.NewPromise[*Packet](c.host.net.K)
 	c.host.net.K.Go("recv-timeout-shim", func(sp *sim.Proc) {
@@ -353,7 +392,9 @@ func (c *Conn) Recv(p *sim.Proc, timeout time.Duration) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pkt.Payload, nil
+	payload := pkt.Payload
+	c.host.net.FreePacket(pkt)
+	return payload, nil
 }
 
 // Close tears the connection down on both ends (FIN).
@@ -364,11 +405,11 @@ func (c *Conn) Close() {
 	c.closed = true
 	c.rx.Close()
 	delete(c.host.conns, fourTuple{c.local, c.remote})
-	c.host.sendOut(&Packet{
-		Kind: KindFIN, SrcIP: c.local.ip, DstIP: c.remote.ip,
-		SrcPort: c.local.port, DstPort: c.remote.port, Size: minWireSize,
-		Seq: c.sendSeq + 1,
-	})
+	fin := c.host.net.NewPacket()
+	fin.Kind, fin.SrcIP, fin.DstIP = KindFIN, c.local.ip, c.remote.ip
+	fin.SrcPort, fin.DstPort, fin.Size = c.local.port, c.remote.port, minWireSize
+	fin.Seq = c.sendSeq + 1
+	c.host.sendOut(fin)
 }
 
 // Router is a static L3 node: packets are forwarded on the port registered
@@ -382,11 +423,22 @@ type Router struct {
 	// FwdDelay is per-packet forwarding latency (switching fabric).
 	FwdDelay time.Duration
 	net      *Network
+	// FIFO of packets waiting out FwdDelay (constant delay + pooled events
+	// keep arrival order; the persistent drainFn avoids per-packet closures).
+	fwdq    []routerFwd
+	fwdHead int
+	drainFn func()
+}
+
+type routerFwd struct {
+	out *Port
+	pkt *Packet
 }
 
 // NewRouter creates a router node.
 func NewRouter(n *Network, name string) *Router {
 	r := &Router{name: name, routes: make(map[Addr]*Port), net: n}
+	r.drainFn = r.drainFwd
 	n.Register(r)
 	return r
 }
@@ -412,11 +464,23 @@ func (r *Router) Lookup(ip Addr) *Port {
 func (r *Router) HandlePacket(in *Port, pkt *Packet) {
 	out := r.Lookup(pkt.DstIP)
 	if out == nil || out == in {
-		return // drop: no route
+		return // drop: no route (left to GC, never recycled)
 	}
 	if r.FwdDelay > 0 {
-		r.net.K.AfterFree(r.FwdDelay, func() { out.Send(pkt) })
+		r.fwdq = append(r.fwdq, routerFwd{out, pkt})
+		r.net.K.AfterFree(r.FwdDelay, r.drainFn)
 		return
 	}
 	out.Send(pkt)
+}
+
+func (r *Router) drainFwd() {
+	e := r.fwdq[r.fwdHead]
+	r.fwdq[r.fwdHead] = routerFwd{}
+	r.fwdHead++
+	if r.fwdHead == len(r.fwdq) {
+		r.fwdq = r.fwdq[:0]
+		r.fwdHead = 0
+	}
+	e.out.Send(e.pkt)
 }

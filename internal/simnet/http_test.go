@@ -1,0 +1,177 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"transparentedge/internal/sim"
+)
+
+func TestHTTPKeepAlive(t *testing.T) {
+	// One connection serves any number of sequential requests.
+	k, _, a, b := pair(t, LinkConfig{Latency: time.Millisecond})
+	served := 0
+	b.ServeHTTP(80, func(p *sim.Proc, req *HTTPRequest) *HTTPResponse {
+		served++
+		return &HTTPResponse{Status: 200, Size: KiB, Body: served}
+	})
+	var bodies []any
+	k.Go("client", func(p *sim.Proc) {
+		c, err := a.Dial(p, b.IP(), 80, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		for i := 0; i < 3; i++ {
+			if err := c.Send(minWireSize, &HTTPRequest{Method: "GET", Path: "/"}); err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := c.Recv(p, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bodies = append(bodies, resp.(*HTTPResponse).Body)
+		}
+	})
+	k.Run()
+	if served != 3 || len(bodies) != 3 {
+		t.Fatalf("served %d, got %d responses", served, len(bodies))
+	}
+	if bodies[0] != 1 || bodies[1] != 2 || bodies[2] != 3 {
+		t.Fatalf("bodies = %v, want [1 2 3]", bodies)
+	}
+}
+
+func TestHTTPNilResponseIs500(t *testing.T) {
+	k, _, a, b := pair(t, LinkConfig{Latency: time.Millisecond})
+	b.ServeHTTP(80, func(p *sim.Proc, req *HTTPRequest) *HTTPResponse {
+		return nil
+	})
+	var res *HTTPResult
+	var err error
+	k.Go("client", func(p *sim.Proc) {
+		res, err = a.HTTPGet(p, b.IP(), 80, &HTTPRequest{Method: "GET", Path: "/"}, 0)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resp == nil || res.Resp.Status != 500 {
+		t.Fatalf("resp = %+v, want synthesized 500", res.Resp)
+	}
+}
+
+func TestHTTPIgnoresForeignPayload(t *testing.T) {
+	// A non-HTTPRequest payload on the server connection is skipped, not
+	// answered — the next real request still gets its response.
+	k, _, a, b := pair(t, LinkConfig{Latency: time.Millisecond})
+	b.ServeHTTP(80, func(p *sim.Proc, req *HTTPRequest) *HTTPResponse {
+		return &HTTPResponse{Status: 200, Size: minWireSize}
+	})
+	var status int
+	k.Go("client", func(p *sim.Proc) {
+		c, err := a.Dial(p, b.IP(), 80, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		if err := c.Send(minWireSize, "not an http request"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Send(minWireSize, &HTTPRequest{Method: "GET", Path: "/"}); err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := c.Recv(p, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		status = resp.(*HTTPResponse).Status
+	})
+	k.Run()
+	if status != 200 {
+		t.Fatalf("status = %d, want 200 (foreign payload must be skipped)", status)
+	}
+}
+
+func TestHTTPSizeClamping(t *testing.T) {
+	// Tiny request/response sizes are clamped to the minimum wire size, so
+	// round-trip timing never falls below the control-segment cost.
+	k, _, a, b := pair(t, LinkConfig{Latency: time.Millisecond, Bandwidth: 8 * Mbps})
+	var reqSize Bytes
+	b.ServeHTTP(80, func(p *sim.Proc, req *HTTPRequest) *HTTPResponse {
+		reqSize = req.Size
+		return &HTTPResponse{Status: 200, Size: 1} // clamped on send
+	})
+	var res *HTTPResult
+	var err error
+	k.Go("client", func(p *sim.Proc) {
+		res, err = a.HTTPGet(p, b.IP(), 80, &HTTPRequest{Method: "GET", Path: "/", Size: 1}, 0)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqSize != minWireSize {
+		t.Errorf("server saw request size %d, want clamp to %d", reqSize, minWireSize)
+	}
+	if res.Total <= res.Connect {
+		t.Errorf("Total %v must exceed Connect %v", res.Total, res.Connect)
+	}
+}
+
+func TestHTTPGetTimeoutDuringResponse(t *testing.T) {
+	// The handler sleeps past the deadline: HTTPGet must give up with
+	// ErrTimeout even though the connection established fine.
+	k, _, a, b := pair(t, LinkConfig{Latency: time.Millisecond})
+	b.ServeHTTP(80, func(p *sim.Proc, req *HTTPRequest) *HTTPResponse {
+		p.Sleep(time.Second)
+		return &HTTPResponse{Status: 200}
+	})
+	var err error
+	k.Go("client", func(p *sim.Proc) {
+		_, err = a.HTTPGet(p, b.IP(), 80, &HTTPRequest{Method: "GET", Path: "/"}, 100*time.Millisecond)
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestHTTPGetTimeoutConsumedByDial(t *testing.T) {
+	// When the handshake alone eats the whole budget, HTTPGet reports
+	// ErrTimeout instead of waiting forever on the response.
+	k, _, a, b := pair(t, LinkConfig{Latency: 30 * time.Millisecond})
+	b.ServeHTTP(80, func(p *sim.Proc, req *HTTPRequest) *HTTPResponse {
+		return &HTTPResponse{Status: 200}
+	})
+	var err error
+	k.Go("client", func(p *sim.Proc) {
+		// Handshake costs 4 hops x 30 ms = 120 ms; budget is 121 ms, so
+		// the deadline expires between connect and response.
+		_, err = a.HTTPGet(p, b.IP(), 80, &HTTPRequest{Method: "GET", Path: "/"}, 121*time.Millisecond)
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestHTTPGetRefused(t *testing.T) {
+	k, _, a, b := pair(t, LinkConfig{Latency: time.Millisecond})
+	var err error
+	k.Go("client", func(p *sim.Proc) {
+		_, err = a.HTTPGet(p, b.IP(), 80, &HTTPRequest{Method: "GET", Path: "/"}, 0)
+	})
+	k.Run()
+	if !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("err = %v, want ErrConnRefused", err)
+	}
+}

@@ -11,6 +11,27 @@
 // image pulls cheap to simulate. TCP slow start and retransmission are not
 // modelled; connection setup costs one RTT (SYN / SYN-ACK), which matches
 // the curl time_total measurement methodology of the paper.
+//
+// # Packet ownership
+//
+// Packets are recycled through a per-Network free list (NewPacket /
+// FreePacket), so the datapath has explicit ownership rules (DESIGN.md §10):
+//
+//   - handing a packet to Port.Send transfers ownership to the network; the
+//     sender must not touch it afterwards;
+//   - on delivery, ownership passes to the receiving Node.HandlePacket.
+//     Forwarding nodes (Switch, Router) pass ownership downstream — they may
+//     rewrite headers in place because they are the sole owner (rewrites
+//     need no copy; Clone was retired with this rule);
+//   - terminal consumers return packets to the pool: hosts free control
+//     segments (SYN/SYN-ACK/RST/FIN) after handling them, and DATA segments
+//     are freed by Conn.Recv once the payload has been extracted;
+//   - a node that holds a packet across events (the SDN controller holding
+//     a punted SYN while a deployment runs) owns it until it re-injects it
+//     (TableOut/PacketOut) or drops it;
+//   - dropped packets (link down, loss, no route) are left to the garbage
+//     collector: drops are off the hot path and never recycled, which keeps
+//     the rules simple and use-after-free impossible on error paths.
 package simnet
 
 import (
@@ -70,8 +91,9 @@ func (k PacketKind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Packet is a message-level network packet. Header fields are mutable so an
-// OpenFlow-style switch can rewrite them in flight.
+// Packet is a message-level network packet. Header fields are mutable: the
+// owner of a packet (see the package comment's ownership rules) may rewrite
+// them in flight, as an OpenFlow switch does.
 type Packet struct {
 	Kind    PacketKind
 	SrcIP   Addr
@@ -91,13 +113,6 @@ func (p *Packet) String() string {
 	return fmt.Sprintf("%s %s:%d->%s:%d (%dB)", p.Kind, p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Size)
 }
 
-// Clone returns a shallow copy (payload shared) so header rewrites do not
-// affect other holders of the packet.
-func (p *Packet) Clone() *Packet {
-	cp := *p
-	return &cp
-}
-
 // minWireSize is the modelled on-wire size of control segments (SYN etc.).
 const minWireSize Bytes = 64
 
@@ -106,7 +121,8 @@ type Node interface {
 	// Name returns a diagnostic name.
 	Name() string
 	// HandlePacket processes a packet arriving on port in. It runs in
-	// kernel (event) context and must not block.
+	// kernel (event) context and must not block. The packet is owned by the
+	// node from this point on (forward it, free it, or hold it).
 	HandlePacket(in *Port, pkt *Packet)
 }
 
@@ -117,6 +133,9 @@ type Network struct {
 	nextPkt  uint64
 	nodes    []Node
 	PktTrace func(where string, pkt *Packet) // optional debug hook
+
+	pktPool  []*Packet   // recycled packets (NewPacket / FreePacket)
+	xferPool []*transfer // recycled link transfers with their events
 }
 
 // NewNetwork returns an empty network bound to kernel k.
@@ -129,6 +148,28 @@ func (n *Network) Register(node Node) { n.nodes = append(n.nodes, node) }
 func (n *Network) NextPacketID() uint64 {
 	n.nextPkt++
 	return n.nextPkt
+}
+
+// NewPacket returns a zeroed packet from the network's free list (or a fresh
+// one). The caller owns it until it is handed to Port.Send.
+func (n *Network) NewPacket() *Packet {
+	if ln := len(n.pktPool); ln > 0 {
+		p := n.pktPool[ln-1]
+		n.pktPool[ln-1] = nil
+		n.pktPool = n.pktPool[:ln-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// FreePacket returns a packet to the free list. Only the packet's current
+// owner may free it; the packet must not be referenced afterwards.
+func (n *Network) FreePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	*p = Packet{}
+	n.pktPool = append(n.pktPool, p)
 }
 
 // LinkConfig describes a full-duplex link.
@@ -148,6 +189,9 @@ type Port struct {
 	dir   *direction // transmit direction for this port
 	peer  *Port
 	Label string
+	// deliver hands a packet to the peer node; built once at Connect time
+	// so the per-packet send path allocates no closures.
+	deliver func(*Packet)
 }
 
 // Node returns the node the port is attached to.
@@ -159,22 +203,14 @@ func (p *Port) Peer() *Port { return p.peer }
 // Link returns the link the port belongs to.
 func (p *Port) Link() *Link { return p.link }
 
-// Send transmits pkt out of this port toward the peer node. Delivery happens
-// after serialization (fair-shared bandwidth) plus propagation latency.
+// Send transmits pkt out of this port toward the peer node, transferring
+// ownership of pkt to the network. Delivery happens after serialization
+// (fair-shared bandwidth) plus propagation latency.
 func (p *Port) Send(pkt *Packet) {
 	if pkt.Size < minWireSize {
 		pkt.Size = minWireSize
 	}
-	p.dir.transmit(pkt, func(delivered *Packet) {
-		peer := p.peer
-		if peer == nil {
-			return
-		}
-		if p.link.net.PktTrace != nil {
-			p.link.net.PktTrace(peer.node.Name(), delivered)
-		}
-		peer.node.HandlePacket(peer, delivered)
-	})
+	p.dir.transmit(pkt, p.deliver)
 }
 
 // Link is a full-duplex point-to-point link with independent per-direction
@@ -209,27 +245,81 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) (*Port, *Port) {
 	pa := &Port{node: a, link: l, dir: &l.ab}
 	pb := &Port{node: b, link: l, dir: &l.ba}
 	pa.peer, pb.peer = pb, pa
+	pa.deliver = pa.deliverToPeer
+	pb.deliver = pb.deliverToPeer
 	l.a, l.b = pa, pb
 	n.links = append(n.links, l)
 	return pa, pb
 }
 
-// transfer is one in-flight serialization on a link direction.
+// deliverToPeer is the persistent delivery callback of a port (bound once at
+// Connect): trace hook, then hand the packet to the peer node.
+func (p *Port) deliverToPeer(delivered *Packet) {
+	peer := p.peer
+	if peer == nil {
+		return
+	}
+	if p.link.net.PktTrace != nil {
+		p.link.net.PktTrace(peer.node.Name(), delivered)
+	}
+	peer.node.HandlePacket(peer, delivered)
+}
+
+// transfer is one in-flight transmission on a link. It owns a persistent
+// re-armable kernel event used twice per packet — first for serialization
+// completion, then for the propagation-latency delivery — and is recycled
+// through the network's free list, so the steady-state per-packet datapath
+// performs zero heap allocations.
 type transfer struct {
-	remaining float64 // bytes left to serialize
-	rate      float64 // current bytes/sec share
-	updated   sim.Time
-	finish    *sim.Event
-	pkt       *Packet
-	deliver   func(*Packet)
+	dir        *direction
+	remaining  float64 // bytes left to serialize
+	rate       float64 // current bytes/sec share
+	updated    sim.Time
+	finish     *sim.Event // persistent; re-armed via Kernel.Schedule
+	pkt        *Packet
+	deliver    func(*Packet)
+	delivering bool // false: serializing; true: in the latency stage
+}
+
+// fire is the transfer's event callback for both stages.
+func (t *transfer) fire() {
+	if !t.delivering {
+		t.dir.complete(t)
+		return
+	}
+	net := t.dir.link.net
+	pkt, deliver := t.pkt, t.deliver
+	t.pkt = nil
+	t.deliver = nil
+	t.dir = nil
+	t.delivering = false
+	net.xferPool = append(net.xferPool, t)
+	deliver(pkt)
+}
+
+// getTransfer takes a transfer from the free list (or builds one with its
+// persistent event) and binds it to direction d.
+func (n *Network) getTransfer(d *direction) *transfer {
+	if ln := len(n.xferPool); ln > 0 {
+		t := n.xferPool[ln-1]
+		n.xferPool[ln-1] = nil
+		n.xferPool = n.xferPool[:ln-1]
+		t.dir = d
+		return t
+	}
+	t := &transfer{dir: d}
+	t.finish = n.K.NewEvent(t.fire)
+	return t
 }
 
 // direction models fair-share (equal split) bandwidth for one direction of a
 // link: each active transfer gets capacity/n. On every membership change the
 // remaining bytes are settled at the old rate and completions rescheduled.
+// Active transfers are kept in an ordered slice (arrival order), so the
+// reschedule sequence — and with it the event ordering — is deterministic.
 type direction struct {
 	link   *Link
-	active map[*transfer]struct{}
+	active []*transfer
 }
 
 func (d *direction) capacityBps() float64 {
@@ -240,31 +330,29 @@ func (d *direction) transmit(pkt *Packet, deliver func(*Packet)) {
 	k := d.link.net.K
 	if d.link.down || (d.link.cfg.Loss > 0 && k.Rand().Float64() < d.link.cfg.Loss) {
 		d.link.Dropped++
-		return
+		return // dropped packets are not recycled (see package comment)
 	}
 	lat := d.link.cfg.Latency
+	t := d.link.net.getTransfer(d)
+	t.pkt = pkt
+	t.deliver = deliver
 	if d.link.cfg.Bandwidth <= 0 {
 		// Infinite bandwidth: propagation only.
-		k.AfterFree(lat, func() { deliver(pkt) })
+		t.delivering = true
+		k.Schedule(t.finish, k.Now()+lat)
 		return
 	}
-	t := &transfer{
-		remaining: float64(pkt.Size),
-		updated:   k.Now(),
-		pkt:       pkt,
-		deliver:   deliver,
-	}
-	if d.active == nil {
-		d.active = make(map[*transfer]struct{})
-	}
-	d.active[t] = struct{}{}
+	t.remaining = float64(pkt.Size)
+	t.updated = k.Now()
+	t.delivering = false
+	d.active = append(d.active, t)
 	d.rebalance()
 }
 
 // settle updates remaining bytes of every active transfer to now.
 func (d *direction) settle() {
 	now := d.link.net.K.Now()
-	for t := range d.active {
+	for _, t := range d.active {
 		elapsed := (now - t.updated).Seconds()
 		t.remaining -= t.rate * elapsed
 		if t.remaining < 0 {
@@ -282,23 +370,27 @@ func (d *direction) rebalance() {
 		return
 	}
 	k := d.link.net.K
+	now := k.Now()
 	share := d.capacityBps() / float64(n)
-	for t := range d.active {
+	for _, t := range d.active {
 		t.rate = share
-		if t.finish != nil {
-			t.finish.Cancel()
-		}
-		tt := t
-		dur := time.Duration(tt.remaining / share * float64(time.Second))
-		t.finish = k.After(dur, func() { d.complete(tt) })
+		dur := time.Duration(t.remaining / share * float64(time.Second))
+		k.Schedule(t.finish, now+dur)
 	}
 }
 
 func (d *direction) complete(t *transfer) {
-	delete(d.active, t)
+	for i, a := range d.active {
+		if a == t {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
 	d.rebalance()
-	lat := d.link.cfg.Latency
-	d.link.net.K.AfterFree(lat, func() { t.deliver(t.pkt) })
+	// Enter the latency stage on the same persistent event.
+	t.delivering = true
+	k := d.link.net.K
+	k.Schedule(t.finish, k.Now()+d.link.cfg.Latency)
 }
 
 // ActiveTransfers returns the number of in-flight transfers a->b and b->a
