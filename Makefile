@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race race-hot bench fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot race-faults bench fuzz experiments examples clean
 
 all: check
 
 # The full pre-merge gate: formatting, compile, static analysis, tests,
-# race detector (everywhere, plus a focused pass over the sweep engine's
-# worker-pool code and the sim kernel it drives).
-check: fmt build vet test race race-hot
+# race detector (everywhere, plus focused passes over the sweep engine's
+# worker-pool code, the sim kernel it drives, and the fault-injection
+# sweep with its serial-vs-parallel fingerprint parity check).
+check: fmt build vet test race race-hot race-faults
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -31,6 +32,11 @@ race:
 race-hot:
 	$(GO) test -race -count 1 ./internal/experiments ./internal/sim
 
+# Fault-sweep smoke test under the race detector, including the
+# same-fault-seed fingerprint parity check (serial vs parallel).
+race-faults:
+	$(GO) test -race -count 1 -run 'TestFaultSweep|TestFaultSeedFingerprintParity' ./internal/experiments
+
 # Regenerate every table and figure of the paper (plus ablations) and the
 # scale benchmarks, recording machine-readable results. The replay-engine
 # sweep (10k/100k/1M requests) lands in BENCH_replay.json; the parallel
@@ -40,6 +46,7 @@ bench:
 	$(GO) test -json -bench 'BenchmarkReplayScale' -benchmem -benchtime 1x -run '^$$' . > BENCH_replay.json
 	$(GO) test -json -bench 'BenchmarkSweep' -benchmem -benchtime 1x -run '^$$' . > BENCH_sweep.json
 	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
+	$(GO) run ./cmd/edgesim -json scale-faults > BENCH_faults.json
 
 # Fuzz the YAML parser for a minute.
 fuzz:

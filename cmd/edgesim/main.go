@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	edge "transparentedge"
@@ -36,7 +37,29 @@ var (
 	asJSON     = flag.Bool("json", false, "sweep/scale-*: emit the uniform JSON result shape instead of text")
 	sweepSeeds = flag.Int("sweep-seeds", 4, "sweep: number of seeds (variants = seeds x 2 waiting modes)")
 	sweepReqs  = flag.Int("sweep-requests", 2000, "sweep: requests per variant")
+
+	faultRates = flag.String("fault-rates", "0,0.1,0.3,0.5", "scale-faults: comma-separated injected fault rates in [0,1)")
 )
+
+// parseRates parses the -fault-rates flag.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r < 0 || r >= 1 {
+			return nil, fmt.Errorf("bad fault rate %q (want [0,1))", f)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("no fault rates in %q", s)
+	}
+	return rates, nil
+}
 
 // emitJSON writes any result in the shared JSON shape to stdout.
 func emitJSON(v any) error {
@@ -96,6 +119,9 @@ Experiments (each reproduces one table/figure of the paper):
   scale-replay      large-trace replay cost (-replay-requests, -goroutines)
   sweep             parallel with/without-waiting sweep across seeds
                     (-sweep-seeds, -sweep-requests, -procs, -json)
+  scale-faults      deterministic fault-injection sweep: retries, next-best
+                    fallback, and cloud fallback under increasing fault
+                    rates (-fault-rates, -sweep-requests, -procs, -json)
   all      run everything
 
 Flags:
@@ -243,6 +269,16 @@ func run(which string) error {
 		}
 	case "sweep":
 		res := edge.RunSweep(edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs), *procs)
+		if *asJSON {
+			return emitJSON(res.JSON())
+		}
+		fmt.Print(res.String())
+	case "scale-faults":
+		rates, err := parseRates(*faultRates)
+		if err != nil {
+			return err
+		}
+		res := edge.RunFaultSweep(*seed, *sweepReqs, rates, *procs)
 		if *asJSON {
 			return emitJSON(res.JSON())
 		}

@@ -37,6 +37,7 @@ import (
 	"transparentedge/internal/cluster"
 	"transparentedge/internal/core"
 	"transparentedge/internal/experiments"
+	"transparentedge/internal/faults"
 	"transparentedge/internal/metrics"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
@@ -314,4 +315,30 @@ func RunSweep(variants []SweepVariant, procs int) SweepResult {
 // crossed with the with/without-waiting scheduler axis.
 func WaitingSweepVariants(seeds, requests int) []SweepVariant {
 	return experiments.WaitingSweep(seeds, requests)
+}
+
+// Fault-injection types (DESIGN.md §11): a deterministic, seed-driven fault
+// plan consulted by the cluster implementations and the network.
+type (
+	// FaultSpec declares a whole testbed's fault plan.
+	FaultSpec = faults.Spec
+	// ClusterFaultSpec declares one cluster's failure behavior.
+	ClusterFaultSpec = faults.ClusterSpec
+	// FaultWindow is a half-open [From, To) outage interval.
+	FaultWindow = faults.Window
+	// FaultSweepResult aggregates a fault-rate sweep.
+	FaultSweepResult = experiments.FaultSweepResult
+)
+
+// FaultSweepVariants returns the scale-faults variant set: the same seeded
+// cold trace under each injected fault rate (rate 0 = fault-free baseline).
+func FaultSweepVariants(seed int64, requests int, rates []float64) []SweepVariant {
+	return experiments.FaultSweepVariants(seed, requests, rates)
+}
+
+// RunFaultSweep replays the seeded trace under each injected fault rate
+// across a worker pool (procs <= 0 uses GOMAXPROCS), showing requests
+// resolving via retry, next-best-cluster fallback, or cloud fallback.
+func RunFaultSweep(seed int64, requests int, rates []float64, procs int) FaultSweepResult {
+	return experiments.FaultSweep(seed, requests, rates, procs)
 }

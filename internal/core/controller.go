@@ -34,6 +34,22 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeDialTimeout bounds a single probe attempt.
 	ProbeDialTimeout time.Duration
+	// ProbeMaxWait bounds the overall readiness-probing of one scale-up: a
+	// port that never opens (crashed instance, partitioned cluster) turns
+	// into a deploy error instead of hanging the dispatcher and the held
+	// client packet forever. 0 selects DefaultProbeMaxWait; negative waits
+	// forever (the original unbounded behavior).
+	ProbeMaxWait time.Duration
+	// DeployRetries is how many extra attempts a failed deployment phase
+	// gets before the deployment is declared failed (0 = fail on the first
+	// error, the paper's behavior).
+	DeployRetries int
+	// DeployBackoffBase / DeployBackoffMax shape the capped exponential
+	// backoff between retry attempts: base, 2*base, 4*base, ... capped at
+	// max. Zero selects the defaults (50ms base, 2s cap); a negative base
+	// retries immediately.
+	DeployBackoffBase time.Duration
+	DeployBackoffMax  time.Duration
 	// StateQueryLatency is charged per cluster when the Dispatcher
 	// gathers the list of existing and running instances (fig. 7) — the
 	// Docker / Kubernetes API round trips of the paper's Python client
@@ -71,6 +87,18 @@ type Config struct {
 	Log func(format string, args ...any)
 }
 
+// DefaultProbeMaxWait is the default overall readiness-probing bound —
+// generous enough that every legitimate container start (including the
+// slowest image's init) finishes well inside it, so it only fires on
+// genuinely dead instances.
+const DefaultProbeMaxWait = 5 * time.Minute
+
+// Default retry-backoff shape (capped exponential).
+const (
+	DefaultDeployBackoffBase = 50 * time.Millisecond
+	DefaultDeployBackoffMax  = 2 * time.Second
+)
+
 // DefaultConfig returns the controller defaults used in the evaluation.
 func DefaultConfig() Config {
 	return Config{
@@ -79,6 +107,7 @@ func DefaultConfig() Config {
 		MemoryIdleTimeout: 2 * time.Minute,
 		ProbeInterval:     20 * time.Millisecond,
 		ProbeDialTimeout:  500 * time.Millisecond,
+		ProbeMaxWait:      DefaultProbeMaxWait,
 		StateQueryLatency: 8 * time.Millisecond,
 		FlowPriority:      100,
 		PuntPriority:      50,
@@ -109,6 +138,20 @@ type Stats struct {
 	Redirections  uint64 // FlowMemory entries re-pointed to a BEST instance
 	// ProactiveDeployments counts deployments initiated by the predictor.
 	ProactiveDeployments uint64
+	// DeployRetries counts phase retry attempts taken (capped-exponential
+	// backoff); DeployFailures counts deployments that exhausted their
+	// retries and failed.
+	DeployRetries  uint64
+	DeployFailures uint64
+	// FallbackDeployments counts dispatches served by a farther cluster
+	// after the scheduler's first choice failed to deploy; CloudFallbacks
+	// counts dispatches degraded to cloud forwarding because every edge
+	// candidate failed (a subset of CloudForwards).
+	FallbackDeployments uint64
+	CloudFallbacks      uint64
+	// ScaleDownFailures counts idle-instance scale-downs that returned an
+	// error (previously silently dropped).
+	ScaleDownFailures uint64
 }
 
 // Controller is the SDN controller: it owns the registered services, the
@@ -165,6 +208,15 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 	}
 	if cfg.ProbeDialTimeout <= 0 {
 		cfg.ProbeDialTimeout = 500 * time.Millisecond
+	}
+	if cfg.ProbeMaxWait == 0 {
+		cfg.ProbeMaxWait = DefaultProbeMaxWait
+	}
+	if cfg.DeployBackoffBase == 0 {
+		cfg.DeployBackoffBase = DefaultDeployBackoffBase
+	}
+	if cfg.DeployBackoffMax == 0 {
+		cfg.DeployBackoffMax = DefaultDeployBackoffMax
 	}
 	if cfg.FlowPriority == 0 {
 		cfg.FlowPriority = 100
@@ -459,12 +511,23 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 		// performed (not the pre-dedup Running bit of the scheduler
 		// state) decides the Deployments count: concurrent requests that
 		// joined one in-flight deployment must not double-count it.
-		inst, performed, err := c.deploy.ensureRunning(p, choice.Fast.Cluster, svc)
+		target := choice.Fast.Cluster
+		inst, performed, err := c.deploy.ensureRunning(p, target, svc)
 		if err != nil {
-			// Deployment failed: degrade to cloud forwarding.
-			c.logf("%s: deployment on %s failed (%v); forwarding to cloud",
-				svc.UniqueName, choice.Fast.Cluster.Name(), err)
+			// Degradation ladder: the chosen cluster failed even after
+			// retries, so walk the remaining candidates in distance order
+			// before giving the request up to the cloud.
+			c.logf("%s: deployment on %s failed (%v); trying next-best clusters",
+				svc.UniqueName, target.Name(), err)
+			inst, target, performed, err = c.fallbackDeploy(p, st, svc, target)
+		}
+		if err != nil {
+			// Every edge candidate failed: degrade to cloud forwarding —
+			// the held packet is still released, never dropped.
+			c.logf("%s: all edge deployments failed (%v); forwarding %s to cloud",
+				svc.UniqueName, err, fk.Client)
 			c.Stats.CloudForwards++
+			c.Stats.CloudFallbacks++
 			c.installCloudForward(ev.Switch, fk)
 			ev.Switch.TableOut(ev.Packet)
 			return
@@ -472,7 +535,7 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 		if performed {
 			c.Stats.Deployments++
 		}
-		inst = c.pickInstance(choice.Fast.Cluster, fk.Client, inst)
+		inst = c.pickInstance(target, fk.Client, inst)
 		c.Memory.Put(fk, inst)
 		c.installRedirect(ev.Switch, fk, inst)
 		ev.Switch.TableOut(ev.Packet)
@@ -498,6 +561,29 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 				svc.UniqueName, best.Name(), inst.Addr, inst.Port, n)
 		})
 	}
+}
+
+// fallbackDeploy walks the scheduler state's remaining candidate clusters
+// (already sorted by distance) after the first choice failed, returning the
+// first successful deployment. The caller falls back to the cloud path when
+// every candidate errors.
+func (c *Controller) fallbackDeploy(p *sim.Proc, st State, svc *spec.Annotated, failed cluster.Cluster) (cluster.Instance, cluster.Cluster, bool, error) {
+	lastErr := ErrNoCluster
+	for _, ci := range st.Clusters {
+		if ci.Cluster.Name() == failed.Name() {
+			continue
+		}
+		inst, performed, err := c.deploy.ensureRunning(p, ci.Cluster, svc)
+		if err != nil {
+			c.logf("%s: fallback deployment on %s failed: %v", svc.UniqueName, ci.Cluster.Name(), err)
+			lastErr = err
+			continue
+		}
+		c.Stats.FallbackDeployments++
+		c.logf("%s: fallback deployment on %s succeeded", svc.UniqueName, ci.Cluster.Name())
+		return inst, ci.Cluster, performed, nil
+	}
+	return cluster.Instance{}, nil, false, lastErr
 }
 
 // installRedirect installs the forward and reverse rewrite rules for one
@@ -599,14 +685,28 @@ func (c *Controller) pickInstance(cl cluster.Cluster, client simnet.Addr, fallba
 	return c.cfg.InstancePicker(client, insts)
 }
 
+// ErrProbeTimeout is returned (wrapped) when an instance's port never opens
+// within Config.ProbeMaxWait.
+var ErrProbeTimeout = errors.New("core: instance port never became ready")
+
 // probeUntilOpen dials the instance from the controller's host until the
-// port accepts a connection.
-func (c *Controller) probeUntilOpen(p *sim.Proc, inst cluster.Instance) {
+// port accepts a connection, or until Config.ProbeMaxWait elapses — a port
+// that never opens becomes a deploy error instead of a hung dispatcher
+// process holding the client's packet forever.
+func (c *Controller) probeUntilOpen(p *sim.Proc, inst cluster.Instance) error {
+	deadline := sim.Time(-1)
+	if c.cfg.ProbeMaxWait > 0 {
+		deadline = p.Now() + c.cfg.ProbeMaxWait
+	}
 	for {
 		conn, err := c.probeHost.Dial(p, inst.Addr, inst.Port, c.cfg.ProbeDialTimeout)
 		if err == nil {
 			conn.Close()
-			return
+			return nil
+		}
+		if deadline >= 0 && p.Now() >= deadline {
+			return fmt.Errorf("%w: %s on %s (%s:%d) after %v",
+				ErrProbeTimeout, inst.Service, inst.Cluster, inst.Addr, inst.Port, c.cfg.ProbeMaxWait)
 		}
 		p.Sleep(c.cfg.ProbeInterval)
 	}
@@ -623,12 +723,36 @@ func (c *Controller) onIdleInstance(inst cluster.Instance) {
 		return
 	}
 	c.k.Go("scale-down:"+inst.Service, func(p *sim.Proc) {
-		// Re-check: a new flow may have arrived meanwhile.
-		if c.Memory.InstanceFlows(inst) > 0 {
+		// Atomically re-check idleness and mark the instance as draining:
+		// the FlowMemory flags any flow pointed at it while the (slow)
+		// ScaleDown runs, closing the old check-then-act window.
+		if !c.Memory.BeginDrain(inst) {
 			return
 		}
-		if err := cl.ScaleDown(p, inst.Service); err == nil {
-			c.logf("%s: scaled down on %s (idle)", inst.Service, inst.Cluster)
+		err := cl.ScaleDown(p, inst.Service)
+		interrupted := c.Memory.EndDrain(inst)
+		if err != nil {
+			c.Stats.ScaleDownFailures++
+			c.logf("%s: scale-down on %s failed: %v", inst.Service, inst.Cluster, err)
+			return
+		}
+		c.logf("%s: scaled down on %s (idle)", inst.Service, inst.Cluster)
+		if interrupted {
+			// A flow was memorized to the instance mid-drain; redeploy so
+			// the redirect does not point at a torn-down endpoint.
+			svc, ok := c.byName[inst.Service]
+			if !ok {
+				return
+			}
+			_, performed, err := c.deploy.ensureRunning(p, cl, svc)
+			if err != nil {
+				c.logf("%s: redeploy after interrupted scale-down failed: %v", inst.Service, err)
+				return
+			}
+			if performed {
+				c.Stats.Deployments++
+			}
+			c.logf("%s: redeployed on %s after interrupted scale-down", inst.Service, inst.Cluster)
 		}
 	})
 }
@@ -688,11 +812,20 @@ func (c *Controller) Records() []DeployRecord {
 }
 
 // RecordsFor filters records by cluster name ("" = any) and service name
-// ("" = any), skipping failed deployments.
+// ("" = any), skipping failed deployments (use RecordsIncluding to see
+// failures too).
 func (c *Controller) RecordsFor(clusterName, serviceName string) []DeployRecord {
+	return c.RecordsIncluding(clusterName, serviceName, false)
+}
+
+// RecordsIncluding filters records by cluster name ("" = any) and service
+// name ("" = any). includeFailed selects whether failed deployments (Err
+// non-nil) are returned as well — the failure metrics and fault tests
+// assert on those.
+func (c *Controller) RecordsIncluding(clusterName, serviceName string, includeFailed bool) []DeployRecord {
 	var out []DeployRecord
 	for _, r := range c.Records() {
-		if r.Err != nil {
+		if r.Err != nil && !includeFailed {
 			continue
 		}
 		if clusterName != "" && r.Cluster != clusterName {

@@ -27,7 +27,12 @@ type DeployRecord struct {
 	DidPull    bool
 	DidCreate  bool
 	DidScaleUp bool
-	// Err is non-nil if the deployment failed.
+	// Attempts counts phase attempts including the final one (1 = clean
+	// first-try deployment); Retries counts the failed attempts that were
+	// retried under backoff, so Attempts == Retries + 1.
+	Attempts int
+	Retries  int
+	// Err is non-nil if the deployment failed (after exhausting retries).
 	Err error
 }
 
@@ -76,65 +81,116 @@ func (d *deployer) ensureRunning(p *sim.Proc, cl cluster.Cluster, svc *spec.Anno
 	return inst, performed, nil
 }
 
+// retryPhase runs one deployment-phase operation with up to
+// Config.DeployRetries retries under capped exponential backoff
+// (DeployBackoffBase doubling per attempt, capped at DeployBackoffMax),
+// accounting retry attempts in the record and the controller stats.
+func (d *deployer) retryPhase(p *sim.Proc, rec *DeployRecord, op func() error) error {
+	cfg := &d.ctrl.cfg
+	backoff := cfg.DeployBackoffBase
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if attempt >= cfg.DeployRetries {
+			return err
+		}
+		rec.Retries++
+		d.ctrl.Stats.DeployRetries++
+		if backoff > 0 {
+			p.Sleep(backoff)
+			backoff *= 2
+			if cfg.DeployBackoffMax > 0 && backoff > cfg.DeployBackoffMax {
+				backoff = cfg.DeployBackoffMax
+			}
+		}
+	}
+}
+
 func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cluster.Instance, bool, error) {
 	rec := DeployRecord{Service: svc.UniqueName, Cluster: cl.Name(), StartedAt: p.Now()}
 	fail := func(err error) (cluster.Instance, bool, error) {
 		rec.Err = err
+		rec.Attempts = rec.Retries + 1
+		d.ctrl.Stats.DeployFailures++
 		d.ctrl.addRecord(rec)
 		return cluster.Instance{}, rec.DidPull || rec.DidCreate || rec.DidScaleUp, err
 	}
 
 	alreadyRunning := cl.Running(svc.UniqueName)
 
-	// Phase 1: Pull.
+	// Phase 1: Pull. The phase duration accumulates across retries; the
+	// backoff sleeps between attempts are excluded (they are not pull work).
 	if !cl.HasImages(svc) {
 		rec.DidPull = true
-		t0 := p.Now()
-		if err := cl.Pull(p, svc); err != nil {
+		if err := d.retryPhase(p, &rec, func() error {
+			t0 := p.Now()
+			err := cl.Pull(p, svc)
+			rec.Pull += time.Duration(p.Now() - t0)
+			return err
+		}); err != nil {
 			return fail(err)
 		}
-		rec.Pull = time.Duration(p.Now() - t0)
 	}
 	// Phase 2: Create.
 	if !cl.Exists(svc.UniqueName) {
 		rec.DidCreate = true
-		t0 := p.Now()
-		if err := cl.Create(p, svc); err != nil {
+		if err := d.retryPhase(p, &rec, func() error {
+			t0 := p.Now()
+			err := cl.Create(p, svc)
+			rec.Create += time.Duration(p.Now() - t0)
+			return err
+		}); err != nil {
 			return fail(err)
 		}
-		rec.Create = time.Duration(p.Now() - t0)
 	}
-	// Phase 3: Scale Up.
+	// Phase 3: Scale Up + readiness. One retryable unit: an instance whose
+	// port never opens (ErrProbeTimeout) is scaled back down best-effort so
+	// the next attempt starts from a clean slate.
 	var inst cluster.Instance
-	var err error
 	if !alreadyRunning {
 		rec.DidScaleUp = true
-		t0 := p.Now()
-		inst, err = cl.ScaleUp(p, svc.UniqueName)
-		if err != nil {
+		if err := d.retryPhase(p, &rec, func() error {
+			t0 := p.Now()
+			in, err := cl.ScaleUp(p, svc.UniqueName)
+			rec.ScaleUp += time.Duration(p.Now() - t0)
+			if err != nil {
+				return err
+			}
+			// Readiness: probe the instance port from the controller host
+			// until it accepts a connection ("the controller continuously
+			// tests if the respective port is open").
+			t0 = p.Now()
+			perr := d.ctrl.probeUntilOpen(p, in)
+			rec.ReadyWait += time.Duration(p.Now() - t0)
+			if perr != nil {
+				_ = cl.ScaleDown(p, svc.UniqueName)
+				return perr
+			}
+			inst = in
+			return nil
+		}); err != nil {
 			return fail(err)
 		}
-		rec.ScaleUp = time.Duration(p.Now() - t0)
-		// Readiness: probe the instance port from the controller host
-		// until it accepts a connection ("the controller continuously
-		// tests if the respective port is open").
-		t0 = p.Now()
-		d.ctrl.probeUntilOpen(p, inst)
-		rec.ReadyWait = time.Duration(p.Now() - t0)
 	} else {
 		ep, ok := cl.Endpoint(svc.UniqueName)
 		if !ok {
 			// Scale-up is in flight elsewhere (e.g. the pod is starting);
 			// idempotently join it.
-			inst, err = cl.ScaleUp(p, svc.UniqueName)
+			in, err := cl.ScaleUp(p, svc.UniqueName)
 			if err != nil {
 				return fail(err)
 			}
-			d.ctrl.probeUntilOpen(p, inst)
+			if err := d.ctrl.probeUntilOpen(p, in); err != nil {
+				return fail(err)
+			}
+			inst = in
 		} else {
 			inst = ep
 		}
 	}
+	rec.Attempts = rec.Retries + 1
 	if rec.DidPull || rec.DidCreate || rec.DidScaleUp {
 		d.ctrl.addRecord(rec)
 		return inst, true, nil

@@ -47,6 +47,10 @@ type FlowMemory struct {
 	perInst    map[instanceKey]int
 	perService map[string]map[*MemEntry]struct{}
 	perClient  map[simnet.Addr]int
+	// draining marks instances with a scale-down in flight; the value flips
+	// to true when a flow is pointed at the instance mid-drain (see
+	// BeginDrain / EndDrain).
+	draining map[instanceKey]bool
 	// OnIdleInstance, when set, is invoked (in kernel context) when the
 	// last memorized flow to an instance expires.
 	OnIdleInstance func(inst cluster.Instance)
@@ -89,6 +93,41 @@ func (m *FlowMemory) ServiceFlows(service string) int {
 	return len(m.perService[service])
 }
 
+// BeginDrain atomically re-checks that no memorized flow points at the
+// instance and, if so, marks it as draining. It returns false — and marks
+// nothing — when flows exist, in which case the caller must abort the
+// scale-down. While the mark is set, any Put or RedirectService that points
+// a flow at the instance records the interruption for EndDrain.
+func (m *FlowMemory) BeginDrain(inst cluster.Instance) bool {
+	ik := instanceKey{inst.Addr, inst.Port}
+	if m.perInst[ik] > 0 {
+		return false
+	}
+	if m.draining == nil {
+		m.draining = make(map[instanceKey]bool)
+	}
+	m.draining[ik] = false
+	return true
+}
+
+// EndDrain clears the draining mark and reports whether a flow was pointed
+// at the instance while the drain was in progress — the signal that the
+// scaled-down instance must be brought back.
+func (m *FlowMemory) EndDrain(inst cluster.Instance) (interrupted bool) {
+	ik := instanceKey{inst.Addr, inst.Port}
+	interrupted = m.draining[ik]
+	delete(m.draining, ik)
+	return interrupted
+}
+
+// noteAttach flags an in-progress drain of the instance a flow was just
+// pointed at.
+func (m *FlowMemory) noteAttach(ik instanceKey) {
+	if _, ok := m.draining[ik]; ok {
+		m.draining[ik] = true
+	}
+}
+
 // Get returns the memorized instance for a key and refreshes its idle
 // timer. The second result is false on a miss.
 func (m *FlowMemory) Get(key FlowKey) (cluster.Instance, bool) {
@@ -104,19 +143,22 @@ func (m *FlowMemory) Get(key FlowKey) (cluster.Instance, bool) {
 
 // Put memorizes (or re-points) a flow.
 func (m *FlowMemory) Put(key FlowKey, inst cluster.Instance) {
+	ik := instanceKey{inst.Addr, inst.Port}
 	if old, ok := m.entries[key]; ok {
 		m.detachService(old)
 		m.decInstance(old.Instance)
 		old.Instance = inst
 		old.LastUsed = m.k.Now()
 		m.attachService(old)
-		m.perInst[instanceKey{inst.Addr, inst.Port}]++
+		m.perInst[ik]++
+		m.noteAttach(ik)
 		return
 	}
 	e := &MemEntry{Key: key, Instance: inst, LastUsed: m.k.Now()}
 	m.entries[key] = e
 	m.attachService(e)
-	m.perInst[instanceKey{inst.Addr, inst.Port}]++
+	m.perInst[ik]++
+	m.noteAttach(ik)
 	m.perClient[key.Client]++
 	m.scheduleExpiry(e)
 }
@@ -135,6 +177,7 @@ func (m *FlowMemory) RedirectService(service string, to cluster.Instance) int {
 		m.decInstance(e.Instance)
 		e.Instance = to
 		m.perInst[instanceKey{to.Addr, to.Port}]++
+		m.noteAttach(instanceKey{to.Addr, to.Port})
 		n++
 	}
 	return n

@@ -40,6 +40,14 @@ type hpCluster struct {
 	// before the next one succeeds.
 	failScaleUps int
 	scaleUps     int
+	// crashStarts makes that many ScaleUp calls "succeed" without the port
+	// ever opening (the injected crash-after-start shape: the instance is
+	// returned but only readiness probing discovers it is dead).
+	crashStarts int
+	// failScaleDowns makes that many ScaleDown calls fail, leaving the
+	// instance running.
+	failScaleDowns int
+	scaleDowns     int
 }
 
 func (f *hpCluster) Name() string                   { return f.name }
@@ -66,6 +74,10 @@ func (f *hpCluster) ScaleUp(p *sim.Proc, service string) (cluster.Instance, erro
 		return cluster.Instance{}, errors.New("fake: scale-up failed")
 	}
 	f.running = true
+	if f.crashStarts > 0 {
+		f.crashStarts--
+		return f.instance(service), nil
+	}
 	if f.lis == nil {
 		f.lis = f.host.ServeHTTP(f.port, cluster.Behavior{RespSize: simnet.KiB}.Handler())
 	}
@@ -73,6 +85,11 @@ func (f *hpCluster) ScaleUp(p *sim.Proc, service string) (cluster.Instance, erro
 }
 
 func (f *hpCluster) ScaleDown(p *sim.Proc, service string) error {
+	f.scaleDowns++
+	if f.failScaleDowns > 0 {
+		f.failScaleDowns--
+		return errors.New("fake: scale-down failed")
+	}
 	f.running = false
 	if f.lis != nil {
 		f.lis.Close()

@@ -19,6 +19,7 @@ import (
 
 	"transparentedge/internal/cluster"
 	"transparentedge/internal/container"
+	"transparentedge/internal/faults"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
@@ -46,7 +47,15 @@ type Engine struct {
 	cfg       Config
 	services  map[string]*service
 	nextPort  int
+	// faults is the engine's fault injector; nil (the default) injects
+	// nothing at zero cost.
+	faults *faults.Injector
 }
+
+// SetFaults attaches a fault injector (nil disables injection). Each fig. 4
+// phase consults it at entry; CrashAfterStart kills a freshly started
+// service before its port ever opens.
+func (e *Engine) SetFaults(in *faults.Injector) { e.faults = in }
 
 type service struct {
 	annotated  *spec.Annotated
@@ -93,6 +102,9 @@ func (e *Engine) HasImages(a *spec.Annotated) bool {
 // Pull implements cluster.Cluster: images are pulled sequentially, as
 // `docker pull` does for distinct images.
 func (e *Engine) Pull(p *sim.Proc, a *spec.Annotated) error {
+	if err := e.faults.PullError(p.Now()); err != nil {
+		return err
+	}
 	for _, c := range a.Containers {
 		p.Sleep(e.cfg.APILatency)
 		if err := e.rt.PullImage(p, c.Image); err != nil {
@@ -120,6 +132,9 @@ func (e *Engine) Running(name string) bool {
 func (e *Engine) Create(p *sim.Proc, a *spec.Annotated) error {
 	if _, dup := e.services[a.UniqueName]; dup {
 		return fmt.Errorf("%w: %s", cluster.ErrAlreadyExists, a.UniqueName)
+	}
+	if err := e.faults.CreateError(p.Now()); err != nil {
+		return err
 	}
 	s := &service{annotated: a}
 	for _, cs := range a.Containers {
@@ -166,6 +181,9 @@ func (e *Engine) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
 	if s.running {
 		return e.instance(name, s), nil
 	}
+	if err := e.faults.ScaleUpError(p.Now()); err != nil {
+		return cluster.Instance{}, err
+	}
 	for _, ctr := range s.containers {
 		p.Sleep(e.cfg.APILatency)
 		hostPort := 0
@@ -181,6 +199,19 @@ func (e *Engine) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
 		}
 	}
 	s.running = true
+	if e.faults.CrashAfterStart() {
+		// The processes die right after start, before any init completed:
+		// the published port never opens and the engine marks the service
+		// not running (as dockerd does when a container exits). ScaleUp
+		// still returns the instance — the caller's readiness probing is
+		// what discovers the crash, exactly as on a real engine.
+		for _, ctr := range s.containers {
+			if ctr.State() == container.StateRunning {
+				_ = ctr.Kill()
+			}
+		}
+		s.running = false
+	}
 	return e.instance(name, s), nil
 }
 

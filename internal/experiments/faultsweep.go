@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"transparentedge/internal/faults"
+)
+
+// FaultSweepVariants builds the scale-faults variant set: the same seeded
+// cold two-cluster trace replayed under increasing injected fault rates. A
+// rate r injects a pull failure with probability r, a scale-up failure with
+// r/2, and a crash-after-start (port never opens) with r/4, per attempt,
+// decided by the deterministic fault plan. Rate 0 is the fault-free
+// baseline: its Faults pointer stays nil, so it exercises the zero-cost
+// path and must fingerprint bit-identically to a sweep without fault
+// support at all.
+func FaultSweepVariants(seed int64, requests int, rates []float64) []SweepVariant {
+	if seed == 0 {
+		seed = 1
+	}
+	if requests <= 0 {
+		requests = 400
+	}
+	if len(rates) == 0 {
+		rates = []float64{0, 0.1, 0.3, 0.5}
+	}
+	vs := make([]SweepVariant, 0, len(rates))
+	for _, r := range rates {
+		v := SweepVariant{
+			Name:     fmt.Sprintf("pullfail=%d%%", int(r*100+0.5)),
+			Seed:     seed,
+			Requests: requests,
+			Clusters: 2,
+			Cold:     true,
+			// Hardening: bounded probes and retries so every injected
+			// failure resolves — by retry, next-best cluster, or cloud
+			// fallback — instead of hanging a deployment forever.
+			DeployRetries:  3,
+			ProbeMaxWait:   10 * time.Second,
+			RequestTimeout: 30 * time.Second,
+		}
+		if r > 0 {
+			v.Faults = &faults.Spec{
+				Seed: seed,
+				Default: faults.ClusterSpec{
+					PullFailProb:    r,
+					ScaleUpFailProb: r / 2,
+					CrashProb:       r / 4,
+				},
+			}
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// FaultSweepResult is a SweepResult whose rendering surfaces the fault-path
+// outputs (attempts, retries, failures, fallbacks).
+type FaultSweepResult struct {
+	SweepResult
+}
+
+// FaultSweep replays the seeded trace under each fault rate across a
+// bounded worker pool (procs <= 0 means GOMAXPROCS).
+func FaultSweep(seed int64, requests int, rates []float64, procs int) FaultSweepResult {
+	return FaultSweepResult{Sweep{
+		Variants: FaultSweepVariants(seed, requests, rates),
+		Procs:    procs,
+	}.Run()}
+}
+
+// String renders the fault sweep as a table.
+func (r FaultSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault sweep of %d variants on %d workers (%v wall)\n",
+		len(r.Variants), r.Procs, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-16s %8s %7s %8s %9s %8s %7s %9s %7s %10s\n",
+		"variant", "requests", "errors", "deploys", "attempts", "retries", "failed", "fallbacks", "cloud", "median")
+	for _, v := range r.Variants {
+		if v.Err != nil {
+			fmt.Fprintf(&b, "  %-16s failed: %v\n", v.Variant.Label(), v.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-16s %8d %7d %8d %9d %8d %7d %9d %7d %10v\n",
+			v.Variant.Label(), v.Requests, v.Errors, v.Deployments,
+			v.DeployAttempts, v.DeployRetries, v.DeployFailures,
+			v.FallbackDeploys, v.CloudFallbacks,
+			v.Median.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -107,3 +107,34 @@ func (r SweepResult) JSON() []JSONResult {
 	})
 	return out
 }
+
+// JSON returns one uniform entry per fault variant.
+func (r FaultSweepResult) JSON() []JSONResult {
+	out := make([]JSONResult, 0, len(r.Variants))
+	for _, v := range r.Variants {
+		m := map[string]float64{
+			"requests":             float64(v.Requests),
+			"errors":               float64(v.Errors),
+			"deployments":          float64(v.Deployments),
+			"deploy_attempts":      float64(v.DeployAttempts),
+			"deploy_retries":       float64(v.DeployRetries),
+			"deploy_failures":      float64(v.DeployFailures),
+			"fallback_deployments": float64(v.FallbackDeploys),
+			"cloud_fallbacks":      float64(v.CloudFallbacks),
+			"median_ms":            ms(v.Median),
+			"p95_ms":               ms(v.P95),
+			"wall_ms":              ms(v.Wall),
+			"fingerprint":          float64(v.Fingerprint() >> 12), // 52-bit float-safe digest
+		}
+		if v.Err != nil {
+			m["failed"] = 1
+		}
+		out = append(out, JSONResult{
+			Experiment: "scale-faults",
+			Name:       v.Variant.Label(),
+			Seed:       v.Variant.Seed,
+			Metrics:    m,
+		})
+	}
+	return out
+}

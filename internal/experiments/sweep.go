@@ -9,6 +9,7 @@ import (
 
 	"transparentedge/internal/catalog"
 	"transparentedge/internal/core"
+	"transparentedge/internal/faults"
 	"transparentedge/internal/metrics"
 	"transparentedge/internal/testbed"
 	"transparentedge/internal/workload"
@@ -42,6 +43,17 @@ type SweepVariant struct {
 	// Cold skips image pre-pull and instance pre-create, so the sweep
 	// measures on-demand deployment costs too.
 	Cold bool
+	// DeployRetries / ProbeMaxWait configure the controller's fault
+	// hardening (0 = testbed defaults); RequestTimeout bounds each replayed
+	// request (0 = wait forever). Timed-out requests count as errors.
+	DeployRetries  int
+	ProbeMaxWait   time.Duration
+	RequestTimeout time.Duration
+	// Faults, when non-nil and enabled, is the deterministic fault plan for
+	// this variant's private testbed. Nil is the fault-free zero-cost path:
+	// with Faults nil the variant's outputs are bit-identical to a build
+	// without fault injection at all.
+	Faults *faults.Spec
 }
 
 // Label returns the variant's display name.
@@ -75,6 +87,15 @@ type VariantResult struct {
 	Wall time.Duration
 	// Totals is the variant's full latency distribution, ready to Merge.
 	Totals *metrics.Hist
+	// Fault-path outputs. Deterministic, but deliberately EXCLUDED from the
+	// fingerprint: the fingerprint predates them and must keep hashing the
+	// exact same byte sequence so fault-free sweeps stay comparable across
+	// releases (mixing even zero-valued fields would change it).
+	DeployAttempts  int // recorded deployment attempts, failed runs included
+	DeployRetries   int // failed attempts that were retried under backoff
+	DeployFailures  int // deployments that exhausted retries
+	FallbackDeploys int // deployments served by the next-best cluster
+	CloudFallbacks  int // held packets released to the cloud after failure
 }
 
 // Fingerprint digests every deterministic output of the variant. Running the
@@ -118,6 +139,9 @@ func runVariant(v SweepVariant) VariantResult {
 		Seed:          v.Seed,
 		EnableDocker:  true,
 		EnableFarEdge: v.Clusters >= 2,
+		DeployRetries: v.DeployRetries,
+		ProbeMaxWait:  v.ProbeMaxWait,
+		Faults:        v.Faults,
 	}
 	if v.Scheduler != "" {
 		sched, err := core.NewScheduler(v.Scheduler)
@@ -131,9 +155,10 @@ func runVariant(v SweepVariant) VariantResult {
 	tb := testbed.New(opts)
 	start := time.Now()
 	out, err := workload.ReplayWith(tb, trace, catalog.Nginx, workload.Options{
-		PrePull:     !v.Cold,
-		PreCreate:   !v.Cold,
-		MaxInFlight: v.MaxInFlight,
+		PrePull:        !v.Cold,
+		PreCreate:      !v.Cold,
+		MaxInFlight:    v.MaxInFlight,
+		RequestTimeout: v.RequestTimeout,
 	})
 	res.Wall = time.Since(start)
 	if err != nil {
@@ -148,6 +173,13 @@ func runVariant(v SweepVariant) VariantResult {
 	res.Max = out.Totals.Max()
 	res.Totals = out.Totals.ToHist()
 	res.Totals.Name = v.Label()
+	for _, rec := range tb.Ctrl.RecordsIncluding("", "", true) {
+		res.DeployAttempts += rec.Attempts
+	}
+	res.DeployRetries = int(tb.Ctrl.Stats.DeployRetries)
+	res.DeployFailures = int(tb.Ctrl.Stats.DeployFailures)
+	res.FallbackDeploys = int(tb.Ctrl.Stats.FallbackDeployments)
+	res.CloudFallbacks = int(tb.Ctrl.Stats.CloudFallbacks)
 	return res
 }
 

@@ -3,10 +3,12 @@ package kube
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"transparentedge/internal/cluster"
 	"transparentedge/internal/container"
+	"transparentedge/internal/faults"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
@@ -47,7 +49,16 @@ type Cluster struct {
 	started  bool
 	services map[string]*spec.Annotated
 	nextPort int
+	// faults is the cluster's fault injector; nil (the default) injects
+	// nothing at zero cost.
+	faults *faults.Injector
 }
+
+// SetFaults attaches a fault injector (nil disables injection). Each fig. 4
+// phase consults it at entry; CrashAfterStart crashes the scheduled pod's
+// containers right after the kubelet starts them, so the pod looks Running
+// but its NodePort never opens.
+func (c *Cluster) SetFaults(in *faults.Injector) { c.faults = in }
 
 type node struct {
 	name    string
@@ -154,6 +165,9 @@ func (c *Cluster) HasImages(a *spec.Annotated) bool {
 
 // Pull implements cluster.Cluster: nodes pull concurrently.
 func (c *Cluster) Pull(p *sim.Proc, a *spec.Annotated) error {
+	if err := c.faults.PullError(p.Now()); err != nil {
+		return err
+	}
 	k := c.api.Kernel()
 	wg := sim.NewWaitGroup(k)
 	var firstErr error
@@ -190,6 +204,9 @@ func (c *Cluster) Running(name string) bool {
 func (c *Cluster) Create(p *sim.Proc, a *spec.Annotated) error {
 	if _, dup := c.services[a.UniqueName]; dup {
 		return fmt.Errorf("%w: %s", cluster.ErrAlreadyExists, a.UniqueName)
+	}
+	if err := c.faults.CreateError(p.Now()); err != nil {
+		return err
 	}
 	labels := map[string]string{
 		"app":                 a.UniqueName,
@@ -241,6 +258,9 @@ func (c *Cluster) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
 	if _, ok := c.services[name]; !ok {
 		return cluster.Instance{}, fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
 	}
+	if err := c.faults.ScaleUpError(p.Now()); err != nil {
+		return cluster.Instance{}, err
+	}
 	d, err := c.api.GetDeployment(p, name)
 	if err != nil {
 		return cluster.Instance{}, err
@@ -265,6 +285,9 @@ func (c *Cluster) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
 			if n == nil {
 				continue
 			}
+			if c.faults.CrashAfterStart() {
+				c.crashPod(pod.Name, n, name)
+			}
 			return cluster.Instance{
 				Service: name,
 				Cluster: c.name,
@@ -276,10 +299,40 @@ func (c *Cluster) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
 	}
 }
 
+// crashPod models a pod whose processes die right after the kubelet starts
+// them: a bounded watcher waits for the pod's containers to come up, kills
+// them once, and exits. The pod object stays Running — the kubelet does not
+// watch process health here — so only the controller's port probing notices
+// the crash; a retry's ScaleDown deletes the pod and schedules a fresh one.
+func (c *Cluster) crashPod(podName string, n *node, svcName string) {
+	c.api.Kernel().Go("faultcrash:"+c.name+":"+podName, func(p *sim.Proc) {
+		deadline := p.Now() + 30*time.Second
+		for p.Now() < deadline {
+			killed := false
+			for _, ctr := range n.rt.List(map[string]string{"app": svcName}) {
+				if !strings.HasPrefix(ctr.Name(), podName+".") {
+					continue
+				}
+				if ctr.State() == container.StateRunning {
+					_ = ctr.Kill()
+					killed = true
+				}
+			}
+			if killed {
+				return
+			}
+			p.Sleep(100 * time.Millisecond)
+		}
+	})
+}
+
 // ScaleDown implements cluster.Cluster.
 func (c *Cluster) ScaleDown(p *sim.Proc, name string) error {
 	if _, ok := c.services[name]; !ok {
 		return fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
+	}
+	if err := c.faults.ScaleDownError(p.Now()); err != nil {
+		return err
 	}
 	d, err := c.api.GetDeployment(p, name)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"transparentedge/internal/cluster"
+	"transparentedge/internal/faults"
 	"transparentedge/internal/registry"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
@@ -63,7 +64,15 @@ type Platform struct {
 	nextPort  int
 	// ColdStarts counts instantiations (diagnostics).
 	ColdStarts int
+	// faults is the platform's fault injector; nil (the default) injects
+	// nothing at zero cost.
+	faults *faults.Injector
 }
+
+// SetFaults attaches a fault injector (nil disables injection). Each fig. 4
+// phase consults it at entry; CrashAfterStart models a module instance that
+// traps immediately after instantiation, so its endpoint never opens.
+func (pl *Platform) SetFaults(in *faults.Injector) { pl.faults = in }
 
 type function struct {
 	spec     spec.ContainerSpec
@@ -112,6 +121,9 @@ func (pl *Platform) HasImages(a *spec.Annotated) bool {
 
 // Pull implements cluster.Cluster.
 func (pl *Platform) Pull(p *sim.Proc, a *spec.Annotated) error {
+	if err := pl.faults.PullError(p.Now()); err != nil {
+		return err
+	}
 	for _, cs := range a.Containers {
 		p.Sleep(pl.cfg.APILatency)
 		if pl.modules.HasImage(cs.Image) {
@@ -143,6 +155,9 @@ func (pl *Platform) Create(p *sim.Proc, a *spec.Annotated) error {
 	if _, dup := pl.functions[a.UniqueName]; dup {
 		return fmt.Errorf("%w: %s", cluster.ErrAlreadyExists, a.UniqueName)
 	}
+	if err := pl.faults.CreateError(p.Now()); err != nil {
+		return err
+	}
 	if len(a.Containers) != 1 {
 		return fmt.Errorf("serverless: %s: %d containers; only single-function services are supported",
 			a.UniqueName, len(a.Containers))
@@ -166,6 +181,9 @@ func (pl *Platform) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) 
 	if f.running {
 		return pl.instance(name, f), nil
 	}
+	if err := pl.faults.ScaleUpError(p.Now()); err != nil {
+		return cluster.Instance{}, err
+	}
 	p.Sleep(pl.cfg.APILatency + pl.cfg.InstantiateDelay)
 	if f.port == 0 {
 		f.port = pl.nextPort
@@ -175,6 +193,13 @@ func (pl *Platform) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) 
 	f.generation++
 	gen := f.generation
 	pl.ColdStarts++
+	if pl.faults.CrashAfterStart() {
+		// The instance traps right after instantiation: no listener is ever
+		// scheduled and the platform marks the function idle, so the
+		// endpoint never opens and only the caller's port probing notices.
+		f.running = false
+		return pl.instance(name, f), nil
+	}
 	b := pl.behaviors.Behavior(f.spec.Image)
 	pl.host.Network().K.After(b.InitDelay, func() {
 		if !f.running || f.generation != gen {
@@ -190,6 +215,9 @@ func (pl *Platform) ScaleDown(p *sim.Proc, name string) error {
 	f, ok := pl.functions[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
+	}
+	if err := pl.faults.ScaleDownError(p.Now()); err != nil {
+		return err
 	}
 	if !f.running {
 		return nil

@@ -222,9 +222,26 @@ type Link struct {
 	ab   direction
 	ba   direction
 	down bool
+	// extraLoss / extraLatency are fault-injection impairments added on
+	// top of the configured loss and propagation delay (see Impair). Both
+	// zero by default, in which case the datapath behaves exactly as
+	// configured — no extra RNG draw, no added delay.
+	extraLoss    float64
+	extraLatency time.Duration
 	// Dropped counts packets lost to failures or configured loss.
 	Dropped uint64
 }
+
+// Impair adds loss probability and one-way latency to the link on top of
+// its configuration — the fault plan's degraded-backhaul knob. Impair(0, 0)
+// restores the configured behavior.
+func (l *Link) Impair(loss float64, extraLatency time.Duration) {
+	l.extraLoss = loss
+	l.extraLatency = extraLatency
+}
+
+// latency returns the effective one-way propagation delay.
+func (l *Link) latency() time.Duration { return l.cfg.Latency + l.extraLatency }
 
 // SetDown takes the link down (packets are silently dropped) or brings it
 // back up — the simulation's cable pull for failure injection.
@@ -250,6 +267,15 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) (*Port, *Port) {
 	l.a, l.b = pa, pb
 	n.links = append(n.links, l)
 	return pa, pb
+}
+
+// ImpairAll applies the same loss/latency impairment to every link of the
+// network (the fault plan's whole-backhaul degradation). Zero arguments
+// restore configured behavior everywhere.
+func (n *Network) ImpairAll(loss float64, extraLatency time.Duration) {
+	for _, l := range n.links {
+		l.Impair(loss, extraLatency)
+	}
 }
 
 // deliverToPeer is the persistent delivery callback of a port (bound once at
@@ -328,11 +354,12 @@ func (d *direction) capacityBps() float64 {
 
 func (d *direction) transmit(pkt *Packet, deliver func(*Packet)) {
 	k := d.link.net.K
-	if d.link.down || (d.link.cfg.Loss > 0 && k.Rand().Float64() < d.link.cfg.Loss) {
+	loss := d.link.cfg.Loss + d.link.extraLoss
+	if d.link.down || (loss > 0 && k.Rand().Float64() < loss) {
 		d.link.Dropped++
 		return // dropped packets are not recycled (see package comment)
 	}
-	lat := d.link.cfg.Latency
+	lat := d.link.latency()
 	t := d.link.net.getTransfer(d)
 	t.pkt = pkt
 	t.deliver = deliver
@@ -390,7 +417,7 @@ func (d *direction) complete(t *transfer) {
 	// Enter the latency stage on the same persistent event.
 	t.delivering = true
 	k := d.link.net.K
-	k.Schedule(t.finish, k.Now()+d.link.cfg.Latency)
+	k.Schedule(t.finish, k.Now()+d.link.latency())
 }
 
 // ActiveTransfers returns the number of in-flight transfers a->b and b->a

@@ -27,6 +27,7 @@ import (
 	"transparentedge/internal/container"
 	"transparentedge/internal/core"
 	"transparentedge/internal/docker"
+	"transparentedge/internal/faults"
 	"transparentedge/internal/kube"
 	"transparentedge/internal/openflow"
 	"transparentedge/internal/registry"
@@ -79,6 +80,19 @@ type Options struct {
 	// ProbeInterval overrides the controller's readiness-probe interval
 	// when non-zero.
 	ProbeInterval time.Duration
+	// ProbeMaxWait overrides the controller's readiness-probe deadline when
+	// non-zero (negative waits forever, as before the deadline existed).
+	ProbeMaxWait time.Duration
+	// DeployRetries / DeployBackoffBase / DeployBackoffMax configure the
+	// controller's per-phase deployment retry policy when non-zero.
+	DeployRetries     int
+	DeployBackoffBase time.Duration
+	DeployBackoffMax  time.Duration
+	// Faults, when non-nil and enabled, injects deterministic failures into
+	// the clusters and (via LinkLoss/LinkExtraLatency) the network. A nil or
+	// all-zero spec leaves every fault hook nil — zero cost, bit-identical
+	// traces.
+	Faults *faults.Spec
 	// Predictor, when set, enables proactive deployment: the controller
 	// pre-deploys services the predictor expects to be requested within
 	// PredictHorizon, checking every PredictInterval.
@@ -113,6 +127,9 @@ type Testbed struct {
 	Hub     *registry.Server
 	GCR     *registry.Server
 	Private *registry.Server
+
+	// FaultPlan is the materialized fault plan (nil when faults are off).
+	FaultPlan *faults.Plan
 
 	cloudRouter *simnet.Router
 	cloudPort   int // switch port toward the cloud
@@ -263,6 +280,18 @@ func New(opts Options) *Testbed {
 	if opts.ProbeInterval > 0 {
 		ctrlCfg.ProbeInterval = opts.ProbeInterval
 	}
+	if opts.ProbeMaxWait != 0 {
+		ctrlCfg.ProbeMaxWait = opts.ProbeMaxWait
+	}
+	if opts.DeployRetries > 0 {
+		ctrlCfg.DeployRetries = opts.DeployRetries
+	}
+	if opts.DeployBackoffBase != 0 {
+		ctrlCfg.DeployBackoffBase = opts.DeployBackoffBase
+	}
+	if opts.DeployBackoffMax != 0 {
+		ctrlCfg.DeployBackoffMax = opts.DeployBackoffMax
+	}
 	// Distance model: clusters on the EGS are nearest (0); the far edge
 	// ranks behind them (1); Docker vs Kubernetes on the same EGS tie and
 	// fall back to registration order.
@@ -337,6 +366,27 @@ func New(opts Options) *Testbed {
 		})
 		tb.nextCliPort++
 		tb.Clients = append(tb.Clients, cli)
+	}
+
+	// Fault plan: attached last so every cluster and link exists. For a nil
+	// or disabled spec this leaves every injector nil (the zero-cost path).
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		tb.FaultPlan = faults.NewPlan(*opts.Faults)
+		if tb.Docker != nil {
+			tb.Docker.SetFaults(tb.FaultPlan.For(tb.Docker.Name()))
+		}
+		if tb.Kube != nil {
+			tb.Kube.SetFaults(tb.FaultPlan.For(tb.Kube.Name()))
+		}
+		if tb.Serverless != nil {
+			tb.Serverless.SetFaults(tb.FaultPlan.For(tb.Serverless.Name()))
+		}
+		if tb.FarDocker != nil {
+			tb.FarDocker.SetFaults(tb.FaultPlan.For(tb.FarDocker.Name()))
+		}
+		if opts.Faults.LinkLoss > 0 || opts.Faults.LinkExtraLatency > 0 {
+			tb.Net.ImpairAll(opts.Faults.LinkLoss, opts.Faults.LinkExtraLatency)
+		}
 	}
 	return tb
 }
