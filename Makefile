@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race race-hot race-faults bench fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot race-faults race-obs bench fuzz experiments examples clean
 
 all: check
 
 # The full pre-merge gate: formatting, compile, static analysis, tests,
 # race detector (everywhere, plus focused passes over the sweep engine's
-# worker-pool code, the sim kernel it drives, and the fault-injection
-# sweep with its serial-vs-parallel fingerprint parity check).
-check: fmt build vet test race race-hot race-faults
+# worker-pool code, the sim kernel it drives, the fault-injection
+# sweep with its serial-vs-parallel fingerprint parity check, and the
+# observability layer's zero-overhead/determinism invariants).
+check: fmt build vet test race race-hot race-faults race-obs
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -37,6 +38,13 @@ race-hot:
 race-faults:
 	$(GO) test -race -count 1 -run 'TestFaultSweep|TestFaultSeedFingerprintParity' ./internal/experiments
 
+# Observability gate: nil obs handles must be allocation-free on the hot
+# path, and enabling tracing/counters must leave every deterministic
+# output (sweep fingerprint, replay results) bit-identical.
+race-obs:
+	$(GO) test -race -count 1 -run 'TestNilHandlesAllocFree|TestEnabledCounterAllocFree' ./internal/obs
+	$(GO) test -race -count 1 -run 'TestTracedFingerprintParity|TestReplayScaleResultParity|TestReplayScaleSpanCount' ./internal/experiments
+
 # Regenerate every table and figure of the paper (plus ablations) and the
 # scale benchmarks, recording machine-readable results. The replay-engine
 # sweep (10k/100k/1M requests) lands in BENCH_replay.json; the parallel
@@ -45,6 +53,7 @@ race-faults:
 bench:
 	$(GO) test -json -bench 'BenchmarkReplayScale' -benchmem -benchtime 1x -run '^$$' . > BENCH_replay.json
 	$(GO) test -json -bench 'BenchmarkSweep' -benchmem -benchtime 1x -run '^$$' . > BENCH_sweep.json
+	$(GO) test -json -bench 'BenchmarkObsOverhead' -benchmem -benchtime 1x -run '^$$' . > BENCH_obs.json
 	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
 	$(GO) run ./cmd/edgesim -json scale-faults > BENCH_faults.json
 

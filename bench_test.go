@@ -333,6 +333,38 @@ func BenchmarkReplayScale_10k(b *testing.B)  { replayScale(b, 10_000) }
 func BenchmarkReplayScale_100k(b *testing.B) { replayScale(b, 100_000) }
 func BenchmarkReplayScale_1M(b *testing.B)   { replayScale(b, 1_000_000) }
 
+// BenchmarkObsOverhead measures the observability tax on the replay engine:
+// the same 100k-request replay with obs off (the nil-handle zero-cost path)
+// and with a tracer ring plus counter registry attached. allocs/request of
+// the off case must match BenchmarkReplayScale_100k; the traced case pays
+// only for span recording, never for extra simulation work.
+func BenchmarkObsOverhead(b *testing.B) {
+	const requests = 100_000
+	run := func(b *testing.B, makeOpts func() []edge.ExperimentOption) {
+		b.ReportAllocs()
+		var res edge.ReplayScaleResult
+		for i := 0; i < b.N; i++ {
+			res = edge.RunReplayScale(benchSeed, requests, true, makeOpts()...)
+			if res.Errors != 0 {
+				b.Fatalf("replay errors = %d", res.Errors)
+			}
+		}
+		b.ReportMetric(res.AllocsPerRequest, "allocs/request")
+		b.ReportMetric(float64(res.Spans), "spans")
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func() []edge.ExperimentOption { return nil })
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, func() []edge.ExperimentOption {
+			return []edge.ExperimentOption{
+				edge.WithTrace(edge.NewTracer(0)),
+				edge.WithCounters(edge.NewCounterRegistry()),
+			}
+		})
+	})
+}
+
 // BenchmarkDispatch_StateQueries measures the dispatcher's packet-in
 // latency as the cluster count grows, for both state-gathering modes: the
 // parallel default stays ~flat (charged latency = max over clusters) while

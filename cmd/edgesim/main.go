@@ -39,7 +39,70 @@ var (
 	sweepReqs  = flag.Int("sweep-requests", 2000, "sweep: requests per variant")
 
 	faultRates = flag.String("fault-rates", "0,0.1,0.3,0.5", "scale-faults: comma-separated injected fault rates in [0,1)")
+
+	traceFile    = flag.String("trace", "", "write the run's spans as a Chrome trace-event file (open in ui.perfetto.dev)")
+	showCounters = flag.Bool("counters", false, "collect obs counters: Prometheus text on stdout (with -json, a counters block in the result)")
 )
+
+// obsRun bundles the -trace / -counters wiring of one edgesim invocation:
+// a tracer streaming into a Chrome trace-event file, and/or one counter
+// registry. The zero handles mean "off" end to end (the library's nil-sink
+// zero-cost path).
+type obsRun struct {
+	tracer *edge.Tracer
+	reg    *edge.CounterRegistry
+	cw     *edge.ChromeTraceWriter
+	f      *os.File
+}
+
+func newObsRun() (*obsRun, error) {
+	o := &obsRun{}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return nil, err
+		}
+		o.f = f
+		o.cw = edge.NewChromeTraceWriter(f)
+		// A small ring suffices: the sink streams every span to disk.
+		o.tracer = edge.NewTracer(1024)
+		o.tracer.SetSink(o.cw.Emit)
+	}
+	if *showCounters {
+		o.reg = edge.NewCounterRegistry()
+	}
+	return o, nil
+}
+
+// options returns the experiment options for the enabled sinks.
+func (o *obsRun) options() []edge.ExperimentOption {
+	var opts []edge.ExperimentOption
+	if o.tracer != nil {
+		opts = append(opts, edge.WithTrace(o.tracer))
+	}
+	if o.reg != nil {
+		opts = append(opts, edge.WithCounters(o.reg))
+	}
+	return opts
+}
+
+// finish closes the trace file (if any) and, in text mode, prints the
+// counter snapshot as Prometheus text.
+func (o *obsRun) finish(printText bool) error {
+	if o.cw != nil {
+		if err := o.cw.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "edgesim: wrote %d trace events to %s\n", o.cw.Events(), *traceFile)
+		if err := o.f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.reg != nil && printText {
+		return edge.WritePrometheusText(os.Stdout, o.reg)
+	}
+	return nil
+}
 
 // parseRates parses the -fault-rates flag.
 func parseRates(s string) ([]float64, error) {
@@ -131,6 +194,9 @@ Flags:
 
 func run(which string) error {
 	if which == "all" {
+		if *traceFile != "" {
+			return fmt.Errorf("-trace needs a single experiment (it writes one trace file)")
+		}
 		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
 			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
@@ -141,6 +207,10 @@ func run(which string) error {
 			fmt.Println()
 		}
 		return nil
+	}
+	o, err := newObsRun()
+	if err != nil {
+		return err
 	}
 	switch which {
 	case "table1":
@@ -154,7 +224,7 @@ func run(which string) error {
 			printHistogram("deployments/s", res.DeploysPerSecond, 1)
 		}
 	case "fig11", "fig14":
-		res, err := edge.RunScaleUpStudy(*seed, true, *scale)
+		res, err := edge.RunScaleUpStudy(*seed, true, *scale, o.options()...)
 		if err != nil {
 			return err
 		}
@@ -164,7 +234,7 @@ func run(which string) error {
 			printTable(res.ReadyWait)
 		}
 	case "fig12", "fig15":
-		res, err := edge.RunScaleUpStudy(*seed, false, *scale)
+		res, err := edge.RunScaleUpStudy(*seed, false, *scale, o.options()...)
 		if err != nil {
 			return err
 		}
@@ -174,19 +244,19 @@ func run(which string) error {
 			printTable(res.ReadyWait)
 		}
 	case "fig13":
-		res, err := edge.RunFig13Pull(*seed)
+		res, err := edge.RunFig13Pull(*seed, o.options()...)
 		if err != nil {
 			return err
 		}
 		printTable(res.Table)
 	case "fig16":
-		res, err := edge.RunFig16Warm(*seed, *requests)
+		res, err := edge.RunFig16Warm(*seed, *requests, o.options()...)
 		if err != nil {
 			return err
 		}
 		printTable(res.Table)
 	case "hybrid":
-		res, err := edge.RunHybridStudy(*seed)
+		res, err := edge.RunHybridStudy(*seed, o.options()...)
 		if err != nil {
 			return err
 		}
@@ -240,51 +310,130 @@ func run(which string) error {
 	case "scale-dispatch":
 		limitProcs()
 		if *asJSON {
-			return emitJSON([]edge.ExperimentJSON{
-				edge.RunDispatchScale(*seed, 1, *serial).JSON(),
-				edge.RunDispatchScale(*seed, *clusters, *serial).JSON(),
-			})
+			out := []edge.ExperimentJSON{
+				edge.RunDispatchScale(*seed, 1, *serial, o.options()...).JSON(),
+				edge.RunDispatchScale(*seed, *clusters, *serial, o.options()...).JSON(),
+			}
+			// The registry accumulates over both runs; attach the final
+			// snapshot to the last entry.
+			out[len(out)-1].Counters = o.reg.Map()
+			if err := o.finish(false); err != nil {
+				return err
+			}
+			return emitJSON(out)
 		}
-		fmt.Println(edge.RunDispatchScale(*seed, 1, *serial).String())
-		fmt.Println(edge.RunDispatchScale(*seed, *clusters, *serial).String())
+		fmt.Println(edge.RunDispatchScale(*seed, 1, *serial, o.options()...).String())
+		fmt.Println(edge.RunDispatchScale(*seed, *clusters, *serial, o.options()...).String())
 		if !*serial {
 			// Show the paper's original serial dispatcher for comparison.
-			fmt.Println(edge.RunDispatchScale(*seed, *clusters, true).String())
+			fmt.Println(edge.RunDispatchScale(*seed, *clusters, true, o.options()...).String())
 		}
 	case "scale-churn":
 		limitProcs()
 		if *asJSON {
-			return emitJSON(edge.RunCookieChurn(*seed, *clients).JSON())
+			out := edge.RunCookieChurn(*seed, *clients, o.options()...).JSON()
+			out.Counters = o.reg.Map()
+			if err := o.finish(false); err != nil {
+				return err
+			}
+			return emitJSON(out)
 		}
-		fmt.Print(edge.RunCookieChurn(*seed, *clients).String())
+		fmt.Print(edge.RunCookieChurn(*seed, *clients, o.options()...).String())
 	case "scale-replay":
 		limitProcs()
 		if *asJSON {
-			return emitJSON(edge.RunReplayScale(*seed, *replayRequests, !*goroutines).JSON())
+			out := edge.RunReplayScale(*seed, *replayRequests, !*goroutines, o.options()...).JSON()
+			if err := o.finish(false); err != nil {
+				return err
+			}
+			return emitJSON(out)
 		}
-		fmt.Print(edge.RunReplayScale(*seed, *replayRequests, !*goroutines).String())
-		if !*goroutines && *replayRequests <= 100000 {
-			// Show the legacy engine for comparison while it is feasible.
+		fmt.Print(edge.RunReplayScale(*seed, *replayRequests, !*goroutines, o.options()...).String())
+		if !*goroutines && *replayRequests <= 100000 && o.tracer == nil && o.reg == nil {
+			// Show the legacy engine for comparison while it is feasible
+			// (skipped when obs is on: it would double spans and counters).
 			fmt.Print(edge.RunReplayScale(*seed, *replayRequests, false).String())
 		}
 	case "sweep":
-		res := edge.RunSweep(edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs), *procs)
+		vs := edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs)
+		attachVariantObs(vs, o)
+		res := edge.RunSweep(vs, *procs)
+		drainVariantObs(vs, o)
 		if *asJSON {
+			if err := o.finish(false); err != nil {
+				return err
+			}
 			return emitJSON(res.JSON())
 		}
 		fmt.Print(res.String())
+		if err := printVariantCounters(vs); err != nil {
+			return err
+		}
 	case "scale-faults":
 		rates, err := parseRates(*faultRates)
 		if err != nil {
 			return err
 		}
-		res := edge.RunFaultSweep(*seed, *sweepReqs, rates, *procs)
+		vs := edge.FaultSweepVariants(*seed, *sweepReqs, rates)
+		attachVariantObs(vs, o)
+		res := edge.FaultSweepResult{SweepResult: edge.RunSweep(vs, *procs)}
+		drainVariantObs(vs, o)
 		if *asJSON {
+			if err := o.finish(false); err != nil {
+				return err
+			}
 			return emitJSON(res.JSON())
 		}
 		fmt.Print(res.String())
+		if err := printVariantCounters(vs); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return o.finish(true)
+}
+
+// attachVariantObs gives each sweep variant its own tracer and registry:
+// the types are concurrency-safe, but sharing a span ring or an in-flight
+// gauge across parallel variants would make their contents depend on worker
+// interleaving.
+func attachVariantObs(vs []edge.SweepVariant, o *obsRun) {
+	for i := range vs {
+		if o.tracer != nil {
+			vs[i].Trace = edge.NewTracer(0)
+		}
+		if o.reg != nil {
+			vs[i].Counters = edge.NewCounterRegistry()
+		}
+	}
+}
+
+// drainVariantObs streams every variant's retained spans into the shared
+// trace file in variant order, so the file is deterministic regardless of
+// -procs (each variant keeps at most its ring capacity of newest spans).
+func drainVariantObs(vs []edge.SweepVariant, o *obsRun) {
+	if o.cw == nil {
+		return
+	}
+	for i := range vs {
+		for _, s := range vs[i].Trace.Spans() {
+			o.cw.Emit(s)
+		}
+	}
+}
+
+// printVariantCounters prints each variant's registry as Prometheus text
+// under a comment header (text mode of sweep/scale-faults with -counters).
+func printVariantCounters(vs []edge.SweepVariant) error {
+	for i := range vs {
+		if vs[i].Counters == nil {
+			continue
+		}
+		fmt.Printf("# variant %s\n", vs[i].Label())
+		if err := edge.WritePrometheusText(os.Stdout, vs[i].Counters); err != nil {
+			return err
+		}
 	}
 	return nil
 }

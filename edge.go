@@ -31,6 +31,7 @@
 package transparentedge
 
 import (
+	"io"
 	"time"
 
 	"transparentedge/internal/catalog"
@@ -39,6 +40,7 @@ import (
 	"transparentedge/internal/experiments"
 	"transparentedge/internal/faults"
 	"transparentedge/internal/metrics"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
@@ -185,6 +187,54 @@ type (
 	ResultTable = metrics.Table
 )
 
+// Observability types (DESIGN.md §12): deterministic virtual-time span
+// traces, an atomic counter/gauge registry, and exporters for the Chrome
+// trace-event format (Perfetto) and the Prometheus text exposition. A nil
+// tracer or registry is valid everywhere and costs nothing.
+type (
+	// Tracer collects per-request span trees into a fixed-size ring.
+	Tracer = obs.Tracer
+	// Span is one completed pipeline interval in virtual time.
+	Span = obs.Span
+	// CounterRegistry hands out named counters/gauges and snapshots them.
+	CounterRegistry = obs.Registry
+	// CounterSample is one snapshotted metric value.
+	CounterSample = obs.Sample
+	// ObsEvent is a structured controller lifecycle event (the replacement
+	// for the old printf Log hook; ObsEvent.String reproduces its lines).
+	ObsEvent = obs.Event
+	// ChromeTraceWriter streams spans to a Perfetto-loadable trace file.
+	ChromeTraceWriter = obs.ChromeWriter
+	// ExperimentOption attaches cross-cutting wiring (tracing, counters) to
+	// an experiment runner.
+	ExperimentOption = experiments.Option
+)
+
+// NewTracer returns a span tracer whose ring holds capacity spans (<= 0
+// selects obs.DefaultTracerCapacity).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewCounterRegistry returns an empty counter/gauge registry.
+func NewCounterRegistry() *CounterRegistry { return obs.NewRegistry() }
+
+// NewChromeTraceWriter starts a streaming Chrome trace-event array on w;
+// connect its Emit as a Tracer sink and Close when done.
+func NewChromeTraceWriter(w io.Writer) *ChromeTraceWriter { return obs.NewChromeWriter(w) }
+
+// WriteChromeTrace writes spans as one complete Chrome trace-event file.
+func WriteChromeTrace(w io.Writer, spans []Span) error { return obs.WriteChrome(w, spans) }
+
+// WritePrometheusText writes the registry snapshot in the Prometheus text
+// exposition format.
+func WritePrometheusText(w io.Writer, r *CounterRegistry) error { return obs.WritePrometheus(w, r) }
+
+// WithTrace wires a span tracer into an experiment runner's testbed and
+// workload.
+func WithTrace(tr *Tracer) ExperimentOption { return experiments.WithTrace(tr) }
+
+// WithCounters wires a counter registry into an experiment runner's testbed.
+func WithCounters(reg *CounterRegistry) ExperimentOption { return experiments.WithCounters(reg) }
+
 // Experiment runners — one per table/figure of the paper's evaluation.
 
 // RunTableI reproduces Table I from the catalog.
@@ -195,21 +245,23 @@ func RunFig9And10(seed int64) experiments.TraceResult { return experiments.Fig9A
 
 // RunScaleUpStudy reproduces figs. 11/14 (preCreate=true) or figs. 12/15
 // (preCreate=false). scale in (0,1] shrinks the trace for quick runs.
-func RunScaleUpStudy(seed int64, preCreate bool, scale float64) (*experiments.ScaleUpResult, error) {
-	return experiments.ScaleUpStudy(seed, preCreate, scale)
+func RunScaleUpStudy(seed int64, preCreate bool, scale float64, options ...ExperimentOption) (*experiments.ScaleUpResult, error) {
+	return experiments.ScaleUpStudy(seed, preCreate, scale, options...)
 }
 
 // RunFig13Pull reproduces fig. 13 (pull times per registry placement).
-func RunFig13Pull(seed int64) (*experiments.PullResult, error) { return experiments.Fig13Pull(seed) }
+func RunFig13Pull(seed int64, options ...ExperimentOption) (*experiments.PullResult, error) {
+	return experiments.Fig13Pull(seed, options...)
+}
 
 // RunFig16Warm reproduces fig. 16 (requests to running instances).
-func RunFig16Warm(seed int64, requests int) (*experiments.WarmResult, error) {
-	return experiments.Fig16Warm(seed, requests)
+func RunFig16Warm(seed int64, requests int, options ...ExperimentOption) (*experiments.WarmResult, error) {
+	return experiments.Fig16Warm(seed, requests, options...)
 }
 
 // RunHybridStudy reproduces the §VII Docker-then-Kubernetes comparison.
-func RunHybridStudy(seed int64) (*experiments.HybridResult, error) {
-	return experiments.HybridStudy(seed)
+func RunHybridStudy(seed int64, options ...ExperimentOption) (*experiments.HybridResult, error) {
+	return experiments.HybridStudy(seed, options...)
 }
 
 // Ablation and future-work runners (beyond the paper's figures; see
@@ -271,23 +323,23 @@ type (
 // RunDispatchScale measures the packet-in dispatch latency over the given
 // number of clusters, with parallel (default) or the paper's original
 // serial per-cluster state gathering.
-func RunDispatchScale(seed int64, clusters int, serial bool) experiments.DispatchScaleResult {
-	return experiments.DispatchScale(seed, clusters, serial)
+func RunDispatchScale(seed int64, clusters int, serial bool, options ...ExperimentOption) experiments.DispatchScaleResult {
+	return experiments.DispatchScale(seed, clusters, serial, options...)
 }
 
 // RunCookieChurn replays one-shot clients to show the controller's cookie,
 // client-location, and flow-memory state stays bounded by the idle
 // timeouts (peaks) and drains to zero afterwards (finals).
-func RunCookieChurn(seed int64, clients int) experiments.CookieChurnResult {
-	return experiments.CookieChurn(seed, clients)
+func RunCookieChurn(seed int64, clients int, options ...ExperimentOption) experiments.CookieChurnResult {
+	return experiments.CookieChurn(seed, clients, options...)
 }
 
 // RunReplayScale replays a synthetic trace of the given length against the
 // Docker testbed, measuring wall time, allocations per request, and
 // retained series memory. eventDriven selects the arrival engine (false =
 // the legacy goroutine-per-request strategy, for comparison).
-func RunReplayScale(seed int64, requests int, eventDriven bool) experiments.ReplayScaleResult {
-	return experiments.ReplayScale(seed, requests, eventDriven)
+func RunReplayScale(seed int64, requests int, eventDriven bool, options ...ExperimentOption) experiments.ReplayScaleResult {
+	return experiments.ReplayScale(seed, requests, eventDriven, options...)
 }
 
 // Sweep engine types: many independent scenario variants, each on a private

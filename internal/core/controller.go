@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"transparentedge/internal/cluster"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/openflow"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
@@ -83,8 +84,27 @@ type Config struct {
 	// kinds that can run it (§VIII side-by-side operation). Nil installs
 	// the defaults: "" -> {docker, kubernetes}, "wasm" -> {serverless}.
 	RuntimeClassKinds map[string][]string
-	// Log, when set, receives controller event lines (for the examples).
+	// Events, when set, receives the controller's structured events
+	// (registrations, dispatch outcomes, deployment and scale-down
+	// failures; see obs.EventKind). It supersedes the legacy Log hook.
+	Events func(obs.Event)
+	// Log is the legacy printf-style event hook. When Events is nil,
+	// events are formatted through obs.LogSink into this callback,
+	// producing byte-identical lines to the old implementation — existing
+	// example code keeps working unchanged.
 	Log func(format string, args ...any)
+	// Trace, when set, records a span tree for every intercepted request
+	// (intercept → FlowMemory hit/miss → scheduler decision → deploy
+	// phases with per-phase attempts → probe → flow install / next-best
+	// fallback / cloud forward), timestamped with the kernel's virtual
+	// clock. Nil disables tracing at zero cost on the hot path, and an
+	// attached tracer only records — it never perturbs the simulation.
+	Trace *obs.Tracer
+	// Counters, when set, registers the controller's counters (dispatch
+	// outcomes by kind, FlowMemory hits/misses/evictions/drains, deploy
+	// retries and failures by phase and cluster) in the registry. Nil
+	// disables all counting at zero cost.
+	Counters *obs.Registry
 }
 
 // DefaultProbeMaxWait is the default overall readiness-probing bound —
@@ -154,6 +174,20 @@ type Stats struct {
 	ScaleDownFailures uint64
 }
 
+// ctrlCounters are the controller's resolved obs counter handles. With no
+// registry configured every handle is nil, and *obs.Counter methods no-op
+// on nil receivers — the documented zero-cost off switch.
+type ctrlCounters struct {
+	packetIns         *obs.Counter
+	memoryServed      *obs.Counter
+	cloudForwards     *obs.Counter
+	cloudFallbacks    *obs.Counter
+	fallbackDeploys   *obs.Counter
+	deployments       *obs.Counter
+	redirections      *obs.Counter
+	scaleDownFailures *obs.Counter
+}
+
 // Controller is the SDN controller: it owns the registered services, the
 // FlowMemory, the Dispatcher logic, and the deployment engine.
 type Controller struct {
@@ -181,6 +215,12 @@ type Controller struct {
 	cookieSeq    uint64
 	predictor    Predictor
 	Stats        Stats
+	// events is the resolved structured-event sink (nil = silent); tr and
+	// reg are the optional tracing and counter sinks from Config.
+	events func(obs.Event)
+	tr     *obs.Tracer
+	reg    *obs.Registry
+	ctr    ctrlCounters
 }
 
 // ClientLocation is the dispatcher's record of where a client was last seen
@@ -253,16 +293,43 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 	c.Memory.OnIdleInstance = c.onIdleInstance
 	c.Memory.OnIdleClient = c.onIdleClient
 	c.deploy = newDeployer(c)
+	// Resolve the observability sinks once. Each handle no-ops on nil, so
+	// instrumented sites pay a single inlined nil check when obs is off.
+	c.tr = cfg.Trace
+	c.events = cfg.Events
+	if c.events == nil {
+		c.events = obs.LogSink(cfg.Log)
+	}
+	if reg := cfg.Counters; reg != nil {
+		c.reg = reg
+		c.ctr = ctrlCounters{
+			packetIns:         reg.Counter("dispatch_packet_ins_total"),
+			memoryServed:      reg.Counter("dispatch_memory_served_total"),
+			cloudForwards:     reg.Counter("dispatch_cloud_forwards_total"),
+			cloudFallbacks:    reg.Counter("dispatch_cloud_fallbacks_total"),
+			fallbackDeploys:   reg.Counter("dispatch_fallback_deployments_total"),
+			deployments:       reg.Counter("deploy_performed_total"),
+			redirections:      reg.Counter("dispatch_redirections_total"),
+			scaleDownFailures: reg.Counter("deploy_scale_down_failures_total"),
+		}
+		c.Memory.SetObs(reg)
+	}
 	return c
 }
 
 // Kernel returns the kernel the controller runs on.
 func (c *Controller) Kernel() *sim.Kernel { return c.k }
 
-func (c *Controller) logf(format string, args ...any) {
-	if c.cfg.Log != nil {
-		c.cfg.Log(format, args...)
+// emit hands a structured event to the configured sink (Config.Events, or
+// the legacy Config.Log through the obs.LogSink shim), stamping the virtual
+// time. Nil sink: the event struct is built but nothing else happens — all
+// emit sites are off the memory-served hot path.
+func (c *Controller) emit(e obs.Event) {
+	if c.events == nil {
+		return
 	}
+	e.Time = time.Duration(c.k.Now())
+	c.events(e)
 }
 
 // AddSwitch attaches the controller to a switch and installs the packet-in
@@ -315,7 +382,7 @@ func (c *Controller) RegisterService(yamlSrc string, reg spec.Registration) (*sp
 	for _, sw := range c.switches {
 		c.installPunt(sw, ap)
 	}
-	c.logf("registered service %s at %s:%d", a.UniqueName, reg.VIP, reg.Port)
+	c.emit(obs.Event{Kind: obs.EvRegistered, Service: a.UniqueName, Addr: string(reg.VIP), Port: reg.Port})
 	return a, nil
 }
 
@@ -355,6 +422,7 @@ func (c *Controller) ClientLocation(ip simnet.Addr) (ClientLocation, bool) {
 func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 	pkt := ev.Packet
 	c.Stats.PacketIns++
+	c.ctr.packetIns.Inc()
 	c.clientLoc[pkt.SrcIP] = ClientLocation{Switch: ev.Switch, InPort: ev.InPort, SeenAt: c.k.Now()}
 	svc, ok := c.services[addrPort{pkt.DstIP, pkt.DstPort}]
 	if !ok {
@@ -369,12 +437,25 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 	if inst, ok := c.Memory.Get(fk); ok && c.instanceAlive(inst) {
 		// Memorized flow: reinstall switch rules without scheduling (§V).
 		c.Stats.MemoryServed++
+		c.ctr.memoryServed.Inc()
 		c.installRedirect(ev.Switch, fk, inst)
 		ev.Switch.TableOut(pkt)
+		if tr := c.tr; tr != nil {
+			now := time.Duration(c.k.Now())
+			root := tr.NextID()
+			tr.Emit(obs.Span{ID: root, Root: root, Name: "dispatch", Cat: "dispatch",
+				Detail: svc.UniqueName + "<-" + string(fk.Client), Start: now, End: now})
+			tr.Emit(obs.Span{Parent: root, Root: root, Name: "memory_hit", Cat: "flowmemory",
+				Detail: inst.Cluster, Start: now, End: now})
+		}
 		return
 	}
+	// The dispatch span's ID is allocated before the process is spawned so
+	// the tree is rooted at intercept time; zero when tracing is off.
+	root := c.tr.NextID()
+	t0 := time.Duration(c.k.Now())
 	c.k.Go("dispatch:"+string(pkt.SrcIP), func(p *sim.Proc) {
-		c.dispatch(p, ev, svc, fk)
+		c.dispatch(p, ev, svc, fk, root, t0)
 	})
 }
 
@@ -495,51 +576,98 @@ func (c *Controller) queryCluster(i int, svc *spec.Annotated, client simnet.Addr
 	return info
 }
 
-func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annotated, fk FlowKey) {
+// dispatch runs the fig. 7 algorithm for one punted packet. root/t0 carry
+// the span-tree root ID and intercept time from HandlePacketIn (root is 0
+// when tracing is off).
+func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annotated, fk FlowKey, root uint64, t0 time.Duration) {
+	tr := c.tr
+	// endRoot closes the dispatch root span at the current virtual time;
+	// each terminal branch below calls it exactly once.
+	endRoot := func(errText string) {
+		if tr == nil {
+			return
+		}
+		tr.Emit(obs.Span{ID: root, Root: root, Name: "dispatch", Cat: "dispatch",
+			Detail: svc.UniqueName + "<-" + string(fk.Client), Start: t0, End: time.Duration(p.Now()), Err: errText})
+	}
+	if tr != nil {
+		tr.Emit(obs.Span{Parent: root, Root: root, Name: "memory_miss", Cat: "flowmemory", Start: t0, End: t0})
+	}
 	st := c.buildState(p, svc, fk.Client)
 	choice := c.cfg.Scheduler.Choose(st)
+	if tr != nil {
+		now := time.Duration(p.Now())
+		tr.Emit(obs.Span{Parent: root, Root: root, Name: "state_query", Cat: "dispatch",
+			Detail: fmt.Sprintf("%d clusters", len(st.Clusters)), Start: t0, End: now})
+		target := "cloud"
+		if choice.Fast != nil {
+			target = choice.Fast.Cluster.Name()
+		}
+		tr.Emit(obs.Span{Parent: root, Root: root, Name: "schedule", Cat: "dispatch",
+			Detail: target, Start: now, End: now})
+	}
 
 	if choice.Fast == nil {
 		// No edge location can serve the request now: forward toward the
 		// cloud (fig. 1), still installing a flow so subsequent packets
 		// bypass the controller.
 		c.Stats.CloudForwards++
-		c.logf("%s: %s -> cloud (no instance available)", svc.UniqueName, fk.Client)
+		c.ctr.cloudForwards.Inc()
+		c.emit(obs.Event{Kind: obs.EvCloudForward, Service: svc.UniqueName, Client: string(fk.Client)})
 		c.installCloudForward(ev.Switch, fk)
 		ev.Switch.TableOut(ev.Packet)
+		if tr != nil {
+			now := time.Duration(p.Now())
+			tr.Emit(obs.Span{Parent: root, Root: root, Name: "cloud_forward", Cat: "dispatch", Start: now, End: now})
+		}
+		endRoot("")
 	} else {
 		// performed (not the pre-dedup Running bit of the scheduler
 		// state) decides the Deployments count: concurrent requests that
 		// joined one in-flight deployment must not double-count it.
 		target := choice.Fast.Cluster
-		inst, performed, err := c.deploy.ensureRunning(p, target, svc)
+		inst, performed, err := c.deploy.ensureRunning(p, target, svc, spanRef{root, root})
 		if err != nil {
 			// Degradation ladder: the chosen cluster failed even after
 			// retries, so walk the remaining candidates in distance order
 			// before giving the request up to the cloud.
-			c.logf("%s: deployment on %s failed (%v); trying next-best clusters",
-				svc.UniqueName, target.Name(), err)
-			inst, target, performed, err = c.fallbackDeploy(p, st, svc, target)
+			c.emit(obs.Event{Kind: obs.EvDeployFailed, Service: svc.UniqueName, Cluster: target.Name(), Err: err})
+			inst, target, performed, err = c.fallbackDeploy(p, st, svc, target, root)
 		}
 		if err != nil {
 			// Every edge candidate failed: degrade to cloud forwarding —
 			// the held packet is still released, never dropped.
-			c.logf("%s: all edge deployments failed (%v); forwarding %s to cloud",
-				svc.UniqueName, err, fk.Client)
+			c.emit(obs.Event{Kind: obs.EvAllEdgeFailed, Service: svc.UniqueName, Client: string(fk.Client), Err: err})
 			c.Stats.CloudForwards++
 			c.Stats.CloudFallbacks++
+			c.ctr.cloudForwards.Inc()
+			c.ctr.cloudFallbacks.Inc()
 			c.installCloudForward(ev.Switch, fk)
 			ev.Switch.TableOut(ev.Packet)
+			if tr != nil {
+				now := time.Duration(p.Now())
+				tr.Emit(obs.Span{Parent: root, Root: root, Name: "cloud_forward", Cat: "dispatch",
+					Detail: "fallback", Start: now, End: now})
+			}
+			endRoot(err.Error())
 			return
 		}
 		if performed {
 			c.Stats.Deployments++
+			c.ctr.deployments.Inc()
 		}
 		inst = c.pickInstance(target, fk.Client, inst)
 		c.Memory.Put(fk, inst)
 		c.installRedirect(ev.Switch, fk, inst)
 		ev.Switch.TableOut(ev.Packet)
-		c.logf("%s: %s -> %s (%s:%d)", svc.UniqueName, fk.Client, inst.Cluster, inst.Addr, inst.Port)
+		if tr != nil {
+			now := time.Duration(p.Now())
+			tr.Emit(obs.Span{Parent: root, Root: root, Name: "flow_install", Cat: "dispatch",
+				Detail: inst.Cluster, Start: now, End: now})
+		}
+		endRoot("")
+		c.emit(obs.Event{Kind: obs.EvDispatched, Service: svc.UniqueName, Client: string(fk.Client),
+			Cluster: inst.Cluster, Addr: string(inst.Addr), Port: inst.Port})
 	}
 
 	// On-demand deployment *without waiting*: deploy the BEST location in
@@ -547,18 +675,33 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 	if choice.Best != nil && (choice.Fast == nil || choice.Best.Cluster.Name() != choice.Fast.Cluster.Name()) {
 		best := choice.Best.Cluster
 		c.k.Go("deploy-best:"+svc.UniqueName, func(bp *sim.Proc) {
-			inst, performed, err := c.deploy.ensureRunning(bp, best, svc)
+			// The background deployment is its own span tree: it outlives
+			// the dispatch that triggered it.
+			broot := c.tr.NextID()
+			bt0 := time.Duration(bp.Now())
+			endBest := func(errText string) {
+				if c.tr == nil {
+					return
+				}
+				c.tr.Emit(obs.Span{ID: broot, Root: broot, Name: "deploy_best", Cat: "background",
+					Detail: svc.UniqueName + "@" + best.Name(), Start: bt0, End: time.Duration(bp.Now()), Err: errText})
+			}
+			inst, performed, err := c.deploy.ensureRunning(bp, best, svc, spanRef{broot, broot})
 			if err != nil {
-				c.logf("%s: background deployment on %s failed: %v", svc.UniqueName, best.Name(), err)
+				c.emit(obs.Event{Kind: obs.EvBackgroundFailed, Service: svc.UniqueName, Cluster: best.Name(), Err: err})
+				endBest(err.Error())
 				return
 			}
 			if performed {
 				c.Stats.Deployments++
+				c.ctr.deployments.Inc()
 			}
 			n := c.Memory.RedirectService(svc.UniqueName, inst)
 			c.Stats.Redirections += uint64(n)
-			c.logf("%s: optimal instance ready on %s (%s:%d); redirected %d flows",
-				svc.UniqueName, best.Name(), inst.Addr, inst.Port, n)
+			c.ctr.redirections.Add(uint64(n))
+			c.emit(obs.Event{Kind: obs.EvOptimalReady, Service: svc.UniqueName, Cluster: best.Name(),
+				Addr: string(inst.Addr), Port: inst.Port, N: n})
+			endBest("")
 		})
 	}
 }
@@ -567,22 +710,38 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 // (already sorted by distance) after the first choice failed, returning the
 // first successful deployment. The caller falls back to the cloud path when
 // every candidate errors.
-func (c *Controller) fallbackDeploy(p *sim.Proc, st State, svc *spec.Annotated, failed cluster.Cluster) (cluster.Instance, cluster.Cluster, bool, error) {
+func (c *Controller) fallbackDeploy(p *sim.Proc, st State, svc *spec.Annotated, failed cluster.Cluster, root uint64) (cluster.Instance, cluster.Cluster, bool, error) {
+	tr := c.tr
+	fid := tr.NextID()
+	var f0 time.Duration
+	if tr != nil {
+		f0 = time.Duration(p.Now())
+	}
+	endFallback := func(detail, errText string) {
+		if tr == nil {
+			return
+		}
+		tr.Emit(obs.Span{ID: fid, Parent: root, Root: root, Name: "fallback", Cat: "dispatch",
+			Detail: detail, Start: f0, End: time.Duration(p.Now()), Err: errText})
+	}
 	lastErr := ErrNoCluster
 	for _, ci := range st.Clusters {
 		if ci.Cluster.Name() == failed.Name() {
 			continue
 		}
-		inst, performed, err := c.deploy.ensureRunning(p, ci.Cluster, svc)
+		inst, performed, err := c.deploy.ensureRunning(p, ci.Cluster, svc, spanRef{fid, root})
 		if err != nil {
-			c.logf("%s: fallback deployment on %s failed: %v", svc.UniqueName, ci.Cluster.Name(), err)
+			c.emit(obs.Event{Kind: obs.EvFallbackFailed, Service: svc.UniqueName, Cluster: ci.Cluster.Name(), Err: err})
 			lastErr = err
 			continue
 		}
 		c.Stats.FallbackDeployments++
-		c.logf("%s: fallback deployment on %s succeeded", svc.UniqueName, ci.Cluster.Name())
+		c.ctr.fallbackDeploys.Inc()
+		c.emit(obs.Event{Kind: obs.EvFallbackOK, Service: svc.UniqueName, Cluster: ci.Cluster.Name()})
+		endFallback(ci.Cluster.Name(), "")
 		return inst, ci.Cluster, performed, nil
 	}
+	endFallback("exhausted", lastErr.Error())
 	return cluster.Instance{}, nil, false, lastErr
 }
 
@@ -733,10 +892,11 @@ func (c *Controller) onIdleInstance(inst cluster.Instance) {
 		interrupted := c.Memory.EndDrain(inst)
 		if err != nil {
 			c.Stats.ScaleDownFailures++
-			c.logf("%s: scale-down on %s failed: %v", inst.Service, inst.Cluster, err)
+			c.ctr.scaleDownFailures.Inc()
+			c.emit(obs.Event{Kind: obs.EvScaleDownFailed, Service: inst.Service, Cluster: inst.Cluster, Err: err})
 			return
 		}
-		c.logf("%s: scaled down on %s (idle)", inst.Service, inst.Cluster)
+		c.emit(obs.Event{Kind: obs.EvScaledDown, Service: inst.Service, Cluster: inst.Cluster})
 		if interrupted {
 			// A flow was memorized to the instance mid-drain; redeploy so
 			// the redirect does not point at a torn-down endpoint.
@@ -744,15 +904,16 @@ func (c *Controller) onIdleInstance(inst cluster.Instance) {
 			if !ok {
 				return
 			}
-			_, performed, err := c.deploy.ensureRunning(p, cl, svc)
+			_, performed, err := c.deploy.ensureRunning(p, cl, svc, spanRef{})
 			if err != nil {
-				c.logf("%s: redeploy after interrupted scale-down failed: %v", inst.Service, err)
+				c.emit(obs.Event{Kind: obs.EvRedeployFailed, Service: inst.Service, Err: err})
 				return
 			}
 			if performed {
 				c.Stats.Deployments++
+				c.ctr.deployments.Inc()
 			}
-			c.logf("%s: redeployed on %s after interrupted scale-down", inst.Service, inst.Cluster)
+			c.emit(obs.Event{Kind: obs.EvRedeployed, Service: inst.Service, Cluster: inst.Cluster})
 		}
 	})
 }
@@ -768,7 +929,7 @@ func (c *Controller) EnsureDeployed(p *sim.Proc, clusterName, serviceName string
 	if !ok {
 		return cluster.Instance{}, fmt.Errorf("core: unknown service %q", serviceName)
 	}
-	inst, _, err := c.deploy.ensureRunning(p, cl, svc)
+	inst, _, err := c.deploy.ensureRunning(p, cl, svc, spanRef{})
 	return inst, err
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"transparentedge/internal/cluster"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/spec"
 )
@@ -41,6 +42,12 @@ func (r DeployRecord) Total() time.Duration {
 	return r.Pull + r.Create + r.ScaleUp + r.ReadyWait
 }
 
+// spanRef threads span-tree context through the deployment pipeline: parent
+// is the enclosing span's ID, root the tree's root ID. The zero spanRef
+// means "no enclosing tree" — with tracing on, the deployment becomes its
+// own root; with tracing off every ID stays 0 and nothing is emitted.
+type spanRef struct{ parent, root uint64 }
+
 // deployer serializes and deduplicates deployments per (cluster, service):
 // concurrent requests for the same not-yet-running service share one
 // deployment (fig. 10's burst of up to eight deployments per second makes
@@ -61,15 +68,28 @@ func newDeployer(c *Controller) *deployer {
 // phase: callers that join an in-flight deployment, and calls that find
 // the service already running, get performed=false — that distinction
 // keeps Stats.Deployments an exact count of deployments actually run.
-func (d *deployer) ensureRunning(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (inst cluster.Instance, performed bool, err error) {
+func (d *deployer) ensureRunning(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated, ref spanRef) (inst cluster.Instance, performed bool, err error) {
 	key := cl.Name() + "/" + svc.UniqueName
 	if pr, ok := d.pending[key]; ok {
+		tr := d.ctrl.tr
+		var t0 time.Duration
+		if tr != nil {
+			t0 = time.Duration(p.Now())
+		}
 		inst, err = pr.Await(p)
+		if tr != nil {
+			s := obs.Span{Parent: ref.parent, Root: ref.root, Name: "deploy_wait", Cat: "deploy",
+				Detail: key, Start: t0, End: time.Duration(p.Now())}
+			if err != nil {
+				s.Err = err.Error()
+			}
+			tr.Emit(s)
+		}
 		return inst, false, err
 	}
 	pr := sim.NewPromise[cluster.Instance](d.ctrl.k)
 	d.pending[key] = pr
-	inst, performed, err = d.run(p, cl, svc)
+	inst, performed, err = d.run(p, cl, svc, ref)
 	// Clear the dedup slot before settling the promise so a failed
 	// deployment never wedges future retries behind a dead promise.
 	delete(d.pending, key)
@@ -84,8 +104,9 @@ func (d *deployer) ensureRunning(p *sim.Proc, cl cluster.Cluster, svc *spec.Anno
 // retryPhase runs one deployment-phase operation with up to
 // Config.DeployRetries retries under capped exponential backoff
 // (DeployBackoffBase doubling per attempt, capped at DeployBackoffMax),
-// accounting retry attempts in the record and the controller stats.
-func (d *deployer) retryPhase(p *sim.Proc, rec *DeployRecord, op func() error) error {
+// accounting retry attempts in the record, the controller stats, and the
+// per-phase/per-cluster retry counter.
+func (d *deployer) retryPhase(p *sim.Proc, rec *DeployRecord, phase string, op func() error) error {
 	cfg := &d.ctrl.cfg
 	backoff := cfg.DeployBackoffBase
 	for attempt := 0; ; attempt++ {
@@ -98,6 +119,9 @@ func (d *deployer) retryPhase(p *sim.Proc, rec *DeployRecord, op func() error) e
 		}
 		rec.Retries++
 		d.ctrl.Stats.DeployRetries++
+		if reg := d.ctrl.reg; reg != nil {
+			reg.Counter(`deploy_retries_total{cluster="` + rec.Cluster + `",phase="` + phase + `"}`).Inc()
+		}
 		if backoff > 0 {
 			p.Sleep(backoff)
 			backoff *= 2
@@ -108,13 +132,74 @@ func (d *deployer) retryPhase(p *sim.Proc, rec *DeployRecord, op func() error) e
 	}
 }
 
-func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cluster.Instance, bool, error) {
+// phase wraps retryPhase with a child span whose Attempts is this phase's
+// attempt count (the record's Retries delta plus the final attempt).
+func (d *deployer) phase(p *sim.Proc, rec *DeployRecord, ref spanRef, name string, op func() error) error {
+	tr := d.ctrl.tr
+	if tr == nil {
+		return d.retryPhase(p, rec, name, op)
+	}
+	t0 := time.Duration(p.Now())
+	r0 := rec.Retries
+	err := d.retryPhase(p, rec, name, op)
+	s := obs.Span{Parent: ref.parent, Root: ref.root, Name: name, Cat: "deploy",
+		Detail: rec.Cluster, Start: t0, End: time.Duration(p.Now()), Attempts: rec.Retries - r0 + 1}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	tr.Emit(s)
+	return err
+}
+
+// probe runs the readiness probing as its own span (a child of the deploy
+// span — probing is charged to ReadyWait, not to scale-up work).
+func (d *deployer) probe(p *sim.Proc, ref spanRef, inst cluster.Instance) error {
+	tr := d.ctrl.tr
+	if tr == nil {
+		return d.ctrl.probeUntilOpen(p, inst)
+	}
+	t0 := time.Duration(p.Now())
+	err := d.ctrl.probeUntilOpen(p, inst)
+	s := obs.Span{Parent: ref.parent, Root: ref.root, Name: "probe", Cat: "deploy",
+		Detail: string(inst.Addr), Start: t0, End: time.Duration(p.Now())}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	tr.Emit(s)
+	return err
+}
+
+func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated, ref spanRef) (cluster.Instance, bool, error) {
+	tr := d.ctrl.tr
+	// The deploy span encloses the phase spans; allocate its ID up front so
+	// children can reference it, and make it the tree root when the caller
+	// supplied none (EnsureDeployed, predictor, post-drain redeploy).
+	var dID uint64
+	if tr != nil {
+		dID = tr.NextID()
+		if ref.root == 0 {
+			ref.root = dID
+		}
+	}
+	child := spanRef{parent: dID, root: ref.root}
 	rec := DeployRecord{Service: svc.UniqueName, Cluster: cl.Name(), StartedAt: p.Now()}
+	endDeploy := func(errText string) {
+		if tr == nil {
+			return
+		}
+		tr.Emit(obs.Span{ID: dID, Parent: ref.parent, Root: ref.root, Name: "deploy", Cat: "deploy",
+			Detail: svc.UniqueName + "@" + rec.Cluster, Start: time.Duration(rec.StartedAt),
+			End: time.Duration(p.Now()), Attempts: rec.Attempts, Err: errText})
+	}
 	fail := func(err error) (cluster.Instance, bool, error) {
 		rec.Err = err
 		rec.Attempts = rec.Retries + 1
 		d.ctrl.Stats.DeployFailures++
+		if reg := d.ctrl.reg; reg != nil {
+			reg.Counter(`deploy_failures_total{cluster="` + rec.Cluster + `"}`).Inc()
+		}
 		d.ctrl.addRecord(rec)
+		endDeploy(err.Error())
 		return cluster.Instance{}, rec.DidPull || rec.DidCreate || rec.DidScaleUp, err
 	}
 
@@ -124,7 +209,7 @@ func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cl
 	// backoff sleeps between attempts are excluded (they are not pull work).
 	if !cl.HasImages(svc) {
 		rec.DidPull = true
-		if err := d.retryPhase(p, &rec, func() error {
+		if err := d.phase(p, &rec, child, "pull", func() error {
 			t0 := p.Now()
 			err := cl.Pull(p, svc)
 			rec.Pull += time.Duration(p.Now() - t0)
@@ -136,7 +221,7 @@ func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cl
 	// Phase 2: Create.
 	if !cl.Exists(svc.UniqueName) {
 		rec.DidCreate = true
-		if err := d.retryPhase(p, &rec, func() error {
+		if err := d.phase(p, &rec, child, "create", func() error {
 			t0 := p.Now()
 			err := cl.Create(p, svc)
 			rec.Create += time.Duration(p.Now() - t0)
@@ -151,7 +236,7 @@ func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cl
 	var inst cluster.Instance
 	if !alreadyRunning {
 		rec.DidScaleUp = true
-		if err := d.retryPhase(p, &rec, func() error {
+		if err := d.phase(p, &rec, child, "scale_up", func() error {
 			t0 := p.Now()
 			in, err := cl.ScaleUp(p, svc.UniqueName)
 			rec.ScaleUp += time.Duration(p.Now() - t0)
@@ -162,7 +247,7 @@ func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cl
 			// until it accepts a connection ("the controller continuously
 			// tests if the respective port is open").
 			t0 = p.Now()
-			perr := d.ctrl.probeUntilOpen(p, in)
+			perr := d.probe(p, child, in)
 			rec.ReadyWait += time.Duration(p.Now() - t0)
 			if perr != nil {
 				_ = cl.ScaleDown(p, svc.UniqueName)
@@ -182,7 +267,7 @@ func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cl
 			if err != nil {
 				return fail(err)
 			}
-			if err := d.ctrl.probeUntilOpen(p, in); err != nil {
+			if err := d.probe(p, child, in); err != nil {
 				return fail(err)
 			}
 			inst = in
@@ -193,7 +278,9 @@ func (d *deployer) run(p *sim.Proc, cl cluster.Cluster, svc *spec.Annotated) (cl
 	rec.Attempts = rec.Retries + 1
 	if rec.DidPull || rec.DidCreate || rec.DidScaleUp {
 		d.ctrl.addRecord(rec)
+		endDeploy("")
 		return inst, true, nil
 	}
+	endDeploy("")
 	return inst, false, nil
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"transparentedge/internal/cluster"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 )
@@ -60,6 +61,21 @@ type FlowMemory struct {
 	OnIdleClient func(client simnet.Addr)
 	// Hits and Misses count lookups (diagnostics).
 	Hits, Misses uint64
+	// Obs counter handles (nil without SetObs — *obs.Counter no-ops on nil).
+	cHits, cMisses, cEvictions, cDrains, cDrainInterrupts *obs.Counter
+}
+
+// SetObs registers the memory's counters in the registry. A nil registry
+// leaves every handle nil, keeping the counting free.
+func (m *FlowMemory) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.cHits = reg.Counter("flowmemory_hits_total")
+	m.cMisses = reg.Counter("flowmemory_misses_total")
+	m.cEvictions = reg.Counter("flowmemory_evictions_total")
+	m.cDrains = reg.Counter("flowmemory_drains_total")
+	m.cDrainInterrupts = reg.Counter("flowmemory_drain_interruptions_total")
 }
 
 // NewFlowMemory creates a FlowMemory with the given idle timeout.
@@ -107,6 +123,7 @@ func (m *FlowMemory) BeginDrain(inst cluster.Instance) bool {
 		m.draining = make(map[instanceKey]bool)
 	}
 	m.draining[ik] = false
+	m.cDrains.Inc()
 	return true
 }
 
@@ -117,6 +134,9 @@ func (m *FlowMemory) EndDrain(inst cluster.Instance) (interrupted bool) {
 	ik := instanceKey{inst.Addr, inst.Port}
 	interrupted = m.draining[ik]
 	delete(m.draining, ik)
+	if interrupted {
+		m.cDrainInterrupts.Inc()
+	}
 	return interrupted
 }
 
@@ -134,9 +154,11 @@ func (m *FlowMemory) Get(key FlowKey) (cluster.Instance, bool) {
 	e, ok := m.entries[key]
 	if !ok {
 		m.Misses++
+		m.cMisses.Inc()
 		return cluster.Instance{}, false
 	}
 	m.Hits++
+	m.cHits.Inc()
 	e.LastUsed = m.k.Now()
 	return e.Instance, true
 }
@@ -209,6 +231,7 @@ func (m *FlowMemory) scheduleExpiry(e *MemEntry) {
 }
 
 func (m *FlowMemory) remove(e *MemEntry) {
+	m.cEvictions.Inc()
 	delete(m.entries, e.Key)
 	m.detachService(e)
 	m.decInstance(e.Instance)

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 )
 
@@ -120,9 +121,9 @@ func (c *Controller) StartProactive(pred Predictor, interval, horizon time.Durat
 					continue
 				}
 				c.Stats.ProactiveDeployments++
-				c.logf("%s: proactive deployment to %s (predicted demand)", name, target.Cluster.Name())
-				if _, _, err := c.deploy.ensureRunning(p, target.Cluster, svc); err != nil {
-					c.logf("%s: proactive deployment failed: %v", name, err)
+				c.emit(obs.Event{Kind: obs.EvProactiveDeploy, Service: name, Cluster: target.Cluster.Name()})
+				if _, _, err := c.deploy.ensureRunning(p, target.Cluster, svc, spanRef{}); err != nil {
+					c.emit(obs.Event{Kind: obs.EvProactiveFailed, Service: name, Err: err})
 				}
 			}
 		}

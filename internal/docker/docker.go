@@ -20,6 +20,7 @@ import (
 	"transparentedge/internal/cluster"
 	"transparentedge/internal/container"
 	"transparentedge/internal/faults"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
@@ -50,12 +51,17 @@ type Engine struct {
 	// faults is the engine's fault injector; nil (the default) injects
 	// nothing at zero cost.
 	faults *faults.Injector
+	// ops are the per-operation obs counters (zero value = disabled).
+	ops obs.ClusterOps
 }
 
 // SetFaults attaches a fault injector (nil disables injection). Each fig. 4
 // phase consults it at entry; CrashAfterStart kills a freshly started
 // service before its port ever opens.
 func (e *Engine) SetFaults(in *faults.Injector) { e.faults = in }
+
+// SetObs registers the engine's cluster_ops_total counters (nil disables).
+func (e *Engine) SetObs(reg *obs.Registry) { e.ops = obs.NewClusterOps(reg, e.name) }
 
 type service struct {
 	annotated  *spec.Annotated
@@ -102,6 +108,7 @@ func (e *Engine) HasImages(a *spec.Annotated) bool {
 // Pull implements cluster.Cluster: images are pulled sequentially, as
 // `docker pull` does for distinct images.
 func (e *Engine) Pull(p *sim.Proc, a *spec.Annotated) error {
+	e.ops.Pull.Inc()
 	if err := e.faults.PullError(p.Now()); err != nil {
 		return err
 	}
@@ -133,6 +140,7 @@ func (e *Engine) Create(p *sim.Proc, a *spec.Annotated) error {
 	if _, dup := e.services[a.UniqueName]; dup {
 		return fmt.Errorf("%w: %s", cluster.ErrAlreadyExists, a.UniqueName)
 	}
+	e.ops.Create.Inc()
 	if err := e.faults.CreateError(p.Now()); err != nil {
 		return err
 	}
@@ -181,6 +189,7 @@ func (e *Engine) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
 	if s.running {
 		return e.instance(name, s), nil
 	}
+	e.ops.ScaleUp.Inc()
 	if err := e.faults.ScaleUpError(p.Now()); err != nil {
 		return cluster.Instance{}, err
 	}
@@ -224,6 +233,7 @@ func (e *Engine) ScaleDown(p *sim.Proc, name string) error {
 	if !s.running {
 		return nil
 	}
+	e.ops.ScaleDown.Inc()
 	for _, ctr := range s.containers {
 		p.Sleep(e.cfg.APILatency)
 		if ctr.State() == container.StateRunning {

@@ -199,7 +199,8 @@ type ScaleUpResult struct {
 // preCreate, services are also created beforehand so only the Scale Up
 // phase runs (fig. 11/14); otherwise Create runs on demand too
 // (fig. 12/15). scale in (0,1] shrinks the trace for quick runs.
-func ScaleUpStudy(seed int64, preCreate bool, scale float64) (*ScaleUpResult, error) {
+func ScaleUpStudy(seed int64, preCreate bool, scale float64, options ...Option) (*ScaleUpResult, error) {
+	o := applyOpts(options)
 	titleTotals := "Fig. 11 — median total time to scale up (s)"
 	titleWait := "Fig. 14 — median wait until ready after scale up"
 	if !preCreate {
@@ -219,9 +220,14 @@ func ScaleUpStudy(seed int64, preCreate bool, scale float64) (*ScaleUpResult, er
 				Seed:         seed,
 				EnableDocker: kind == testbed.KindDocker,
 				EnableKube:   kind == testbed.KindKubernetes,
+				Trace:        o.trace,
+				Counters:     o.counters,
 			})
 			tr := workload.Generate(TraceConfig(seed, scale))
-			rr, err := workload.Replay(tb, tr, key, true, preCreate)
+			rr, err := workload.ReplayWith(tb, tr, key, workload.Options{
+				PrePull: true, PreCreate: preCreate,
+				Trace: o.trace, Counters: o.counters,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", key, kind, err)
 			}
@@ -252,14 +258,18 @@ type PullResult struct {
 }
 
 // Fig13Pull measures cold image pulls onto the EGS per registry placement.
-func Fig13Pull(seed int64) (*PullResult, error) {
+func Fig13Pull(seed int64, options ...Option) (*PullResult, error) {
+	o := applyOpts(options)
 	res := &PullResult{Table: metrics.NewTable(
 		"Fig. 13 — total time to pull service images onto the EGS",
 		"DockerHub/GCR", "Private")}
 	for _, key := range catalog.Keys() {
 		var cells [2]time.Duration
 		for i, private := range []bool{false, true} {
-			tb := testbed.New(testbed.Options{Seed: seed, EnableDocker: true, UsePrivateRegistry: private})
+			tb := testbed.New(testbed.Options{
+				Seed: seed, EnableDocker: true, UsePrivateRegistry: private,
+				Trace: o.trace, Counters: o.counters,
+			})
 			a, _, err := tb.RegisterCatalogService(key)
 			if err != nil {
 				return nil, err
@@ -288,7 +298,8 @@ type WarmResult struct {
 }
 
 // Fig16Warm measures requests against already-running instances.
-func Fig16Warm(seed int64, requests int) (*WarmResult, error) {
+func Fig16Warm(seed int64, requests int, options ...Option) (*WarmResult, error) {
+	o := applyOpts(options)
 	if requests <= 0 {
 		requests = 200
 	}
@@ -302,6 +313,8 @@ func Fig16Warm(seed int64, requests int) (*WarmResult, error) {
 				Seed:         seed,
 				EnableDocker: kind == testbed.KindDocker,
 				EnableKube:   kind == testbed.KindKubernetes,
+				Trace:        o.trace,
+				Counters:     o.counters,
 			})
 			a, reg, err := tb.RegisterCatalogService(key)
 			if err != nil {
@@ -353,7 +366,8 @@ type HybridResult struct {
 
 // HybridStudy measures the §VII Docker-then-Kubernetes strategy on the
 // Nginx service with cached images and pre-created services.
-func HybridStudy(seed int64) (*HybridResult, error) {
+func HybridStudy(seed int64, options ...Option) (*HybridResult, error) {
+	o := applyOpts(options)
 	res := &HybridResult{Table: metrics.NewTable(
 		"§VII — first-request total time by policy (nginx, images cached)",
 		"first request")}
@@ -374,6 +388,8 @@ func HybridStudy(seed int64) (*HybridResult, error) {
 			EnableDocker: pol.docker,
 			EnableKube:   pol.kube,
 			Scheduler:    pol.scheduler,
+			Trace:        o.trace,
+			Counters:     o.counters,
 			// Short switch flows so later requests re-consult the
 			// (redirected) FlowMemory.
 			SwitchIdleTimeout: 2 * time.Second,

@@ -11,6 +11,12 @@ type JSONResult struct {
 	Name       string             `json:"name,omitempty"`
 	Seed       int64              `json:"seed,omitempty"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// Counters is the obs registry snapshot (present only when the run was
+	// invoked with counters enabled).
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// DeployErrors lists deployments that exhausted retries, with their
+	// attempt counts and error strings (scale-faults variants).
+	DeployErrors []DeployError `json:"deploy_errors,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -21,19 +27,25 @@ func (r ReplayScaleResult) JSON() JSONResult {
 	if !r.EventDriven {
 		mode = 0
 	}
+	m := map[string]float64{
+		"requests":       float64(r.Requests),
+		"event_driven":   mode,
+		"wall_ms":        ms(r.Wall),
+		"allocs_per_req": r.AllocsPerRequest,
+		"series_bytes":   float64(r.SeriesBytes),
+		"errors":         float64(r.Errors),
+		"median_ms":      ms(r.Median),
+		"p95_ms":         ms(r.P95),
+		"deployments":    float64(r.Deployments),
+	}
+	if r.Spans > 0 {
+		m["spans"] = float64(r.Spans)
+		m["request_spans"] = float64(r.RequestSpans)
+	}
 	return JSONResult{
 		Experiment: "scale-replay",
-		Metrics: map[string]float64{
-			"requests":       float64(r.Requests),
-			"event_driven":   mode,
-			"wall_ms":        ms(r.Wall),
-			"allocs_per_req": r.AllocsPerRequest,
-			"series_bytes":   float64(r.SeriesBytes),
-			"errors":         float64(r.Errors),
-			"median_ms":      ms(r.Median),
-			"p95_ms":         ms(r.P95),
-			"deployments":    float64(r.Deployments),
-		},
+		Metrics:    m,
+		Counters:   r.Counters,
 	}
 }
 
@@ -92,6 +104,7 @@ func (r SweepResult) JSON() []JSONResult {
 			Name:       v.Variant.Label(),
 			Seed:       v.Variant.Seed,
 			Metrics:    m,
+			Counters:   v.Counters,
 		})
 	}
 	out = append(out, JSONResult{
@@ -130,10 +143,12 @@ func (r FaultSweepResult) JSON() []JSONResult {
 			m["failed"] = 1
 		}
 		out = append(out, JSONResult{
-			Experiment: "scale-faults",
-			Name:       v.Variant.Label(),
-			Seed:       v.Variant.Seed,
-			Metrics:    m,
+			Experiment:   "scale-faults",
+			Name:         v.Variant.Label(),
+			Seed:         v.Variant.Seed,
+			Metrics:      m,
+			Counters:     v.Counters,
+			DeployErrors: v.FailedDeploys,
 		})
 	}
 	return out

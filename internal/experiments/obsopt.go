@@ -1,0 +1,37 @@
+package experiments
+
+import "transparentedge/internal/obs"
+
+// runOpts carries the cross-cutting observability wiring an experiment
+// runner accepts. The zero value (no tracer, no registry) is the default
+// zero-cost path — identical behavior to a build without obs at all.
+type runOpts struct {
+	trace    *obs.Tracer
+	counters *obs.Registry
+}
+
+// Option configures an experiment runner. Runners take variadic Options so
+// existing call sites compile unchanged.
+type Option func(*runOpts)
+
+// WithTrace attaches a span tracer to the runner's testbed and workload:
+// every intercepted request and deployment phase is recorded as a span in
+// virtual time. Nil is accepted and means "off".
+func WithTrace(tr *obs.Tracer) Option {
+	return func(o *runOpts) { o.trace = tr }
+}
+
+// WithCounters attaches a counter/gauge registry to the runner's testbed:
+// dispatcher, deployer, flow-memory, fault and network counters accumulate
+// into it and can be snapshotted mid-run. Nil is accepted and means "off".
+func WithCounters(reg *obs.Registry) Option {
+	return func(o *runOpts) { o.counters = reg }
+}
+
+func applyOpts(options []Option) runOpts {
+	var o runOpts
+	for _, opt := range options {
+		opt(&o)
+	}
+	return o
+}

@@ -32,6 +32,14 @@ type ReplayScaleResult struct {
 	P95    time.Duration
 	// Deployments is the number of distinct services deployed on demand.
 	Deployments int
+	// Spans is the total span count emitted when the run was traced (0
+	// untraced); RequestSpans counts the per-request root spans still held
+	// in the tracer ring, which equals Requests whenever the ring capacity
+	// covers the trace.
+	Spans        uint64
+	RequestSpans int
+	// Counters is the registry snapshot when counters were attached.
+	Counters map[string]float64
 }
 
 // String renders the measurement.
@@ -75,12 +83,16 @@ func replayScaleConfig(seed int64, requests int) workload.Config {
 // full Docker testbed and measures the harness cost. eventDriven selects
 // the engine (false = the legacy goroutine-per-request strategy, for
 // comparison at sizes where it is still feasible).
-func ReplayScale(seed int64, requests int, eventDriven bool) ReplayScaleResult {
+func ReplayScale(seed int64, requests int, eventDriven bool, options ...Option) ReplayScaleResult {
+	o := applyOpts(options)
 	if requests < 8*2 {
 		requests = 8 * 2
 	}
 	trace := workload.Generate(replayScaleConfig(seed, requests))
-	tb := testbed.New(testbed.Options{Seed: seed, EnableDocker: true})
+	tb := testbed.New(testbed.Options{
+		Seed: seed, EnableDocker: true,
+		Trace: o.trace, Counters: o.counters,
+	})
 
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -89,6 +101,7 @@ func ReplayScale(seed int64, requests int, eventDriven bool) ReplayScaleResult {
 	res, err := workload.ReplayWith(tb, trace, catalog.Nginx, workload.Options{
 		PrePull: true, PreCreate: true,
 		GoroutinePerRequest: !eventDriven,
+		Trace:               o.trace, Counters: o.counters,
 	})
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -96,7 +109,7 @@ func ReplayScale(seed int64, requests int, eventDriven bool) ReplayScaleResult {
 		panic(err)
 	}
 
-	return ReplayScaleResult{
+	out := ReplayScaleResult{
 		Requests:         requests,
 		EventDriven:      eventDriven,
 		Wall:             wall,
@@ -106,5 +119,15 @@ func ReplayScale(seed int64, requests int, eventDriven bool) ReplayScaleResult {
 		Median:           res.Totals.Median(),
 		P95:              res.Totals.Percentile(95),
 		Deployments:      res.FirstRequests.Len(),
+		Counters:         o.counters.Map(),
 	}
+	if o.trace != nil {
+		out.Spans = o.trace.Emitted()
+		for _, s := range o.trace.Spans() {
+			if s.Name == "request" {
+				out.RequestSpans++
+			}
+		}
+	}
+	return out
 }

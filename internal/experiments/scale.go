@@ -125,12 +125,14 @@ func (r DispatchScaleResult) String() string {
 // nearest cluster, so the measured request pays punt + state gathering +
 // redirect install + the HTTP exchange — the state-gathering share is the
 // sum of per-cluster query latencies when serial, the max when parallel.
-func DispatchScale(seed int64, clusters int, serial bool) DispatchScaleResult {
+func DispatchScale(seed int64, clusters int, serial bool, options ...Option) DispatchScaleResult {
+	o := applyOpts(options)
 	if clusters < 1 {
 		clusters = 1
 	}
 	k := sim.New(seed)
 	n := simnet.NewNetwork(k)
+	n.SetObs(o.counters)
 	sw := openflow.NewSwitch(n, "sw", openflow.DefaultConfig())
 	link := simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: simnet.Gbps}
 
@@ -140,6 +142,8 @@ func DispatchScale(seed int64, clusters int, serial bool) DispatchScaleResult {
 	cfg := core.DefaultConfig()
 	cfg.Scheduler = core.WaitNearestScheduler{}
 	cfg.SerialStateQueries = serial
+	cfg.Trace = o.trace
+	cfg.Counters = o.counters
 	ctrl := core.New(k, egs, cfg)
 	ctrl.AddSwitch(sw)
 
@@ -202,7 +206,8 @@ func (r CookieChurnResult) String() string {
 // and flow memory. Before the GC fixes these grew linearly with the client
 // count forever; now the peaks track the idle-timeout windows and the
 // final sizes return to zero.
-func CookieChurn(seed int64, clients int) CookieChurnResult {
+func CookieChurn(seed int64, clients int, options ...Option) CookieChurnResult {
+	o := applyOpts(options)
 	if clients < 1 {
 		clients = 1
 	}
@@ -210,6 +215,7 @@ func CookieChurn(seed int64, clients int) CookieChurnResult {
 
 	k := sim.New(seed)
 	n := simnet.NewNetwork(k)
+	n.SetObs(o.counters)
 	sw := openflow.NewSwitch(n, "sw", openflow.DefaultConfig())
 	link := simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: simnet.Gbps}
 
@@ -220,6 +226,8 @@ func CookieChurn(seed int64, clients int) CookieChurnResult {
 	cfg.Scheduler = core.WaitNearestScheduler{}
 	cfg.SwitchIdleTimeout = 500 * time.Millisecond
 	cfg.MemoryIdleTimeout = 2 * time.Second
+	cfg.Trace = o.trace
+	cfg.Counters = o.counters
 	ctrl := core.New(k, egs, cfg)
 	ctrl.AddSwitch(sw)
 	stub := newStubCluster(n, sw, "edge0", "10.0.0.20", 2, link)

@@ -11,6 +11,7 @@ import (
 	"transparentedge/internal/core"
 	"transparentedge/internal/faults"
 	"transparentedge/internal/metrics"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/testbed"
 	"transparentedge/internal/workload"
 )
@@ -54,6 +55,23 @@ type SweepVariant struct {
 	// with Faults nil the variant's outputs are bit-identical to a build
 	// without fault injection at all.
 	Faults *faults.Spec
+	// Trace / Counters wire the variant's private testbed and replay into
+	// the obs layer. Parallel sweeps must give each variant its own handles:
+	// the types are concurrency-safe, but sharing one tracer ring across
+	// variants would interleave spans in completion order. Nil = off at zero
+	// cost, with outputs bit-identical to an uninstrumented run.
+	Trace    *obs.Tracer
+	Counters *obs.Registry
+}
+
+// DeployError is one failed deployment (retries exhausted), surfaced per
+// variant in the uniform scale-faults JSON.
+type DeployError struct {
+	Cluster  string `json:"cluster"`
+	Service  string `json:"service"`
+	Attempts int    `json:"attempts"`
+	Retries  int    `json:"retries"`
+	Error    string `json:"error"`
 }
 
 // Label returns the variant's display name.
@@ -96,6 +114,13 @@ type VariantResult struct {
 	DeployFailures  int // deployments that exhausted retries
 	FallbackDeploys int // deployments served by the next-best cluster
 	CloudFallbacks  int // held packets released to the cloud after failure
+	// FailedDeploys details every deployment that exhausted retries
+	// (cluster, service, attempts, error string). Like the tallies above it
+	// is deterministic but EXCLUDED from the fingerprint.
+	FailedDeploys []DeployError
+	// Counters is the variant registry snapshot (nil unless the variant set
+	// Counters). EXCLUDED from the fingerprint for the same reason.
+	Counters map[string]float64
 }
 
 // Fingerprint digests every deterministic output of the variant. Running the
@@ -142,6 +167,8 @@ func runVariant(v SweepVariant) VariantResult {
 		DeployRetries: v.DeployRetries,
 		ProbeMaxWait:  v.ProbeMaxWait,
 		Faults:        v.Faults,
+		Trace:         v.Trace,
+		Counters:      v.Counters,
 	}
 	if v.Scheduler != "" {
 		sched, err := core.NewScheduler(v.Scheduler)
@@ -159,6 +186,8 @@ func runVariant(v SweepVariant) VariantResult {
 		PreCreate:      !v.Cold,
 		MaxInFlight:    v.MaxInFlight,
 		RequestTimeout: v.RequestTimeout,
+		Trace:          v.Trace,
+		Counters:       v.Counters,
 	})
 	res.Wall = time.Since(start)
 	if err != nil {
@@ -175,11 +204,21 @@ func runVariant(v SweepVariant) VariantResult {
 	res.Totals.Name = v.Label()
 	for _, rec := range tb.Ctrl.RecordsIncluding("", "", true) {
 		res.DeployAttempts += rec.Attempts
+		if rec.Err != nil {
+			res.FailedDeploys = append(res.FailedDeploys, DeployError{
+				Cluster:  rec.Cluster,
+				Service:  rec.Service,
+				Attempts: rec.Attempts,
+				Retries:  rec.Retries,
+				Error:    rec.Err.Error(),
+			})
+		}
 	}
 	res.DeployRetries = int(tb.Ctrl.Stats.DeployRetries)
 	res.DeployFailures = int(tb.Ctrl.Stats.DeployFailures)
 	res.FallbackDeploys = int(tb.Ctrl.Stats.FallbackDeployments)
 	res.CloudFallbacks = int(tb.Ctrl.Stats.CloudFallbacks)
+	res.Counters = v.Counters.Map()
 	return res
 }
 

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"transparentedge/internal/obs"
 )
 
 // Injected-fault sentinels; cluster errors wrap these so consumers can
@@ -114,6 +116,21 @@ func (s Spec) forCluster(name string) ClusterSpec {
 type Plan struct {
 	spec      Spec
 	injectors map[string]*Injector
+	reg       *obs.Registry
+}
+
+// SetObs registers a per-cluster faults_injected_total counter for every
+// injector the plan hands out (existing injectors are backfilled). The
+// counter only counts — fault decisions stay pure functions of the plan
+// seed, so attaching a registry never changes which faults fire.
+func (p *Plan) SetObs(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.reg = reg
+	for name, in := range p.injectors {
+		in.fired = reg.Counter(`faults_injected_total{cluster="` + name + `"}`)
+	}
 }
 
 // NewPlan builds a plan from a spec.
@@ -140,6 +157,9 @@ func (p *Plan) For(clusterName string) *Injector {
 		spec:        cs,
 		seed:        uint64(p.spec.Seed),
 		clusterHash: fnv1a(clusterName),
+	}
+	if p.reg != nil {
+		in.fired = p.reg.Counter(`faults_injected_total{cluster="` + clusterName + `"}`)
 	}
 	p.injectors[clusterName] = in
 	return in
@@ -186,6 +206,8 @@ type Injector struct {
 	// sequences are independent of interleaving with other clusters).
 	pulls, creates, scaleUps, starts uint64
 	counts                           Counts
+	// fired counts every injected fault (nil without Plan.SetObs).
+	fired *obs.Counter
 }
 
 // Operation codes mixed into the decision hash.
@@ -225,6 +247,7 @@ func (in *Injector) PullError(now time.Duration) error {
 	in.pulls++
 	if int64(n) < int64(in.spec.FailFirstPulls) || in.roll(opPull, n) < in.spec.PullFailProb {
 		in.counts.Pulls++
+		in.fired.Inc()
 		return fmt.Errorf("%w (cluster %s, attempt %d)", ErrInjectedPull, in.cluster, n+1)
 	}
 	return nil
@@ -242,6 +265,7 @@ func (in *Injector) CreateError(now time.Duration) error {
 	in.creates++
 	if int64(n) < int64(in.spec.FailFirstCreates) || in.roll(opCreate, n) < in.spec.CreateFailProb {
 		in.counts.Creates++
+		in.fired.Inc()
 		return fmt.Errorf("%w (cluster %s, attempt %d)", ErrInjectedCreate, in.cluster, n+1)
 	}
 	return nil
@@ -259,6 +283,7 @@ func (in *Injector) ScaleUpError(now time.Duration) error {
 	in.scaleUps++
 	if int64(n) < int64(in.spec.FailFirstScaleUps) || in.roll(opScaleUp, n) < in.spec.ScaleUpFailProb {
 		in.counts.ScaleUps++
+		in.fired.Inc()
 		return fmt.Errorf("%w (cluster %s, attempt %d)", ErrInjectedScaleUp, in.cluster, n+1)
 	}
 	return nil
@@ -286,6 +311,7 @@ func (in *Injector) CrashAfterStart() bool {
 	in.starts++
 	if int64(n) < int64(in.spec.CrashFirstStarts) || in.roll(opCrash, n) < in.spec.CrashProb {
 		in.counts.Crashes++
+		in.fired.Inc()
 		return true
 	}
 	return false
@@ -296,6 +322,7 @@ func (in *Injector) outage(now time.Duration) error {
 	for _, w := range in.spec.Outages {
 		if w.Contains(now) {
 			in.counts.Outages++
+			in.fired.Inc()
 			return fmt.Errorf("%w (cluster %s at %v)", ErrOutage, in.cluster, now)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"transparentedge/internal/cluster"
 	"transparentedge/internal/container"
 	"transparentedge/internal/faults"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
@@ -52,6 +53,8 @@ type Cluster struct {
 	// faults is the cluster's fault injector; nil (the default) injects
 	// nothing at zero cost.
 	faults *faults.Injector
+	// ops are the per-operation obs counters (zero value = disabled).
+	ops obs.ClusterOps
 }
 
 // SetFaults attaches a fault injector (nil disables injection). Each fig. 4
@@ -59,6 +62,9 @@ type Cluster struct {
 // containers right after the kubelet starts them, so the pod looks Running
 // but its NodePort never opens.
 func (c *Cluster) SetFaults(in *faults.Injector) { c.faults = in }
+
+// SetObs registers the cluster's cluster_ops_total counters (nil disables).
+func (c *Cluster) SetObs(reg *obs.Registry) { c.ops = obs.NewClusterOps(reg, c.name) }
 
 type node struct {
 	name    string
@@ -165,6 +171,7 @@ func (c *Cluster) HasImages(a *spec.Annotated) bool {
 
 // Pull implements cluster.Cluster: nodes pull concurrently.
 func (c *Cluster) Pull(p *sim.Proc, a *spec.Annotated) error {
+	c.ops.Pull.Inc()
 	if err := c.faults.PullError(p.Now()); err != nil {
 		return err
 	}
@@ -205,6 +212,7 @@ func (c *Cluster) Create(p *sim.Proc, a *spec.Annotated) error {
 	if _, dup := c.services[a.UniqueName]; dup {
 		return fmt.Errorf("%w: %s", cluster.ErrAlreadyExists, a.UniqueName)
 	}
+	c.ops.Create.Inc()
 	if err := c.faults.CreateError(p.Now()); err != nil {
 		return err
 	}
@@ -258,6 +266,7 @@ func (c *Cluster) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) {
 	if _, ok := c.services[name]; !ok {
 		return cluster.Instance{}, fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
 	}
+	c.ops.ScaleUp.Inc()
 	if err := c.faults.ScaleUpError(p.Now()); err != nil {
 		return cluster.Instance{}, err
 	}
@@ -331,6 +340,7 @@ func (c *Cluster) ScaleDown(p *sim.Proc, name string) error {
 	if _, ok := c.services[name]; !ok {
 		return fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
 	}
+	c.ops.ScaleDown.Inc()
 	if err := c.faults.ScaleDownError(p.Now()); err != nil {
 		return err
 	}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistEach checks the Prometheus-bucket iterator: cumulative counts in
+// increasing bound order, final cumulative equal to Len, and every sample
+// contained in a bucket whose upper bound is >= the sample.
+func TestHistEach(t *testing.T) {
+	h := NewHist("each")
+	samples := []time.Duration{
+		5 * time.Nanosecond, 5 * time.Nanosecond, 120 * time.Nanosecond,
+		3 * time.Millisecond, 90 * time.Millisecond, 2 * time.Second,
+	}
+	for _, s := range samples {
+		h.Add(0, s)
+	}
+	var lastLE float64
+	var lastCum uint64
+	buckets := 0
+	h.Each(func(le float64, cum uint64) {
+		if le <= lastLE && buckets > 0 {
+			t.Fatalf("bucket bounds not increasing: %v after %v", le, lastLE)
+		}
+		if cum <= lastCum {
+			t.Fatalf("cumulative counts not increasing: %d after %d", cum, lastCum)
+		}
+		lastLE, lastCum = le, cum
+		buckets++
+	})
+	if lastCum != uint64(h.Len()) {
+		t.Fatalf("final cumulative = %d, want %d", lastCum, h.Len())
+	}
+	if maxS := h.Max().Seconds(); lastLE < maxS {
+		t.Fatalf("last bucket bound %v < max sample %v", lastLE, maxS)
+	}
+	if buckets == 0 || buckets > len(samples) {
+		t.Fatalf("yielded %d buckets for %d samples", buckets, len(samples))
+	}
+
+	empty := NewHist("empty")
+	empty.Each(func(le float64, cum uint64) {
+		t.Fatalf("empty histogram yielded a bucket (%v, %d)", le, cum)
+	})
+}
+
+func TestHistSum(t *testing.T) {
+	h := NewHist("sum")
+	h.Add(0, 2*time.Millisecond)
+	h.Add(0, 3*time.Millisecond)
+	if got := h.Sum(); got != 5*time.Millisecond {
+		t.Fatalf("Sum = %v, want 5ms", got)
+	}
+}

@@ -191,6 +191,27 @@ func (h *Hist) Percentile(p float64) time.Duration {
 	return h.max
 }
 
+// Each yields the histogram's non-empty buckets as Prometheus-style
+// cumulative pairs (upper bound in seconds, cumulative count), in
+// increasing bound order — the shape obs.WriteHistText expects. The upper
+// bound of a bucket is the largest duration mapping into it (lower + width
+// - 1 ns).
+func (h *Hist) Each(yield func(le float64, cumulative uint64)) {
+	sb := h.sb()
+	var cum uint64
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		upper := histLowerSub(idx, sb) + histWidthSub(idx, sb) - 1
+		yield(upper.Seconds(), cum)
+	}
+}
+
+// Sum returns the exact sum of all recorded samples.
+func (h *Hist) Sum() time.Duration { return h.sum }
+
 // RetainedBytes reports the histogram's approximate memory footprint.
 func (h *Hist) RetainedBytes() int {
 	return len(h.counts)*8 + 64

@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+// TestNilHandlesAllocFree pins the zero-overhead invariant: with
+// observability off (nil handles everywhere), instrumented hot paths must
+// not allocate at all.
+func TestNilHandlesAllocFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Add(1)
+		g.Set(3)
+		_ = c.Value()
+		_ = g.High()
+		_ = tr.NextID()
+		tr.Emit(Span{Name: "x", Cat: "y"})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil obs handles allocate %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEnabledCounterAllocFree pins that resolved counter/gauge handles also
+// stay allocation-free per event (resolution cost is paid at construction).
+func TestEnabledCounterAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		g.Add(-1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled counter handles allocate %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Chrome trace-event export: one complete ("ph":"X") event per span, one
+// event per line, inside a JSON array — the file is both valid JSON (loads
+// directly in Perfetto / chrome://tracing) and line-oriented enough for
+// golden-file tests and streaming appends. Timestamps are the simulation's
+// virtual clock in microseconds, so the viewer's timeline is virtual time;
+// every span tree gets its own track (tid = root span ID) inside pid 1.
+
+// ChromeWriter streams spans to w in Chrome trace-event format. Connect
+// Emit as a Tracer sink to write a full trace without retaining spans in
+// memory. Close finishes the JSON array; the zero-event file "[\n]" is
+// still valid JSON.
+type ChromeWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	n      int
+	closed bool
+}
+
+// NewChromeWriter starts a trace-event array on w.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	return &ChromeWriter{bw: bw}
+}
+
+// Emit appends one span as a trace event. Safe for concurrent use (sweep
+// variants may share one writer).
+func (cw *ChromeWriter) Emit(s Span) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.closed {
+		return
+	}
+	if cw.n > 0 {
+		cw.bw.WriteString(",")
+	}
+	cw.bw.WriteString("\n")
+	cw.bw.Write(chromeEvent(s))
+	cw.n++
+}
+
+// Events returns how many events were written so far.
+func (cw *ChromeWriter) Events() int {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.n
+}
+
+// Close terminates the JSON array and flushes. The underlying writer is not
+// closed (the caller owns the file handle).
+func (cw *ChromeWriter) Close() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	cw.bw.WriteString("\n]\n")
+	return cw.bw.Flush()
+}
+
+// WriteChrome writes the spans as one complete Chrome trace-event file.
+func WriteChrome(w io.Writer, spans []Span) error {
+	cw := NewChromeWriter(w)
+	for _, s := range spans {
+		cw.Emit(s)
+	}
+	return cw.Close()
+}
+
+// chromeEvent renders one span as a trace-event JSON object. Fields are
+// emitted in fixed order so output is byte-stable for golden tests.
+func chromeEvent(s Span) []byte {
+	b := make([]byte, 0, 160)
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, s.Name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, s.Cat)
+	b = append(b, `,"ph":"X","ts":`...)
+	b = appendMicros(b, s.Start.Nanoseconds())
+	b = append(b, `,"dur":`...)
+	b = appendMicros(b, s.Dur().Nanoseconds())
+	b = append(b, `,"pid":1,"tid":`...)
+	b = strconv.AppendUint(b, s.Root, 10)
+	b = append(b, `,"args":{"id":`...)
+	b = strconv.AppendUint(b, s.ID, 10)
+	if s.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, s.Parent, 10)
+	}
+	if s.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, s.Detail)
+	}
+	if s.Attempts > 0 {
+		b = append(b, `,"attempts":`...)
+		b = strconv.AppendInt(b, int64(s.Attempts), 10)
+	}
+	if s.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendJSONString(b, s.Err)
+	}
+	b = append(b, `}}`...)
+	return b
+}
+
+// appendMicros renders nanoseconds as microseconds with three decimals (the
+// trace-event ts/dur unit), without floating-point round-off.
+func appendMicros(b []byte, ns int64) []byte {
+	neg := ns < 0
+	if neg {
+		b = append(b, '-')
+		ns = -ns
+	}
+	b = strconv.AppendInt(b, ns/1000, 10)
+	frac := ns % 1000
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+(frac/10)%10), byte('0'+frac%10))
+	return b
+}
+
+// appendJSONString appends s as a JSON string literal. Service and cluster
+// names are plain ASCII, but error texts can contain anything, so defer to
+// encoding/json for correctness (exporters are off the hot path).
+func appendJSONString(b []byte, s string) []byte {
+	enc, err := json.Marshal(s)
+	if err != nil {
+		return append(b, `""`...)
+	}
+	return append(b, enc...)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// goldenSpans is a small span tree exercising every optional field: detail,
+// attempts, an error, a negative-free microsecond fraction, and a child.
+func goldenSpans() []Span {
+	return []Span{
+		{ID: 1, Root: 1, Name: "dispatch", Cat: "dispatch", Detail: "svc@10.0.1.1",
+			Start: 1500 * time.Microsecond, End: 52*time.Millisecond + 1234*time.Nanosecond},
+		{ID: 2, Parent: 1, Root: 1, Name: "pull", Cat: "deploy", Detail: "egs-docker",
+			Start: 2 * time.Millisecond, End: 30 * time.Millisecond, Attempts: 3},
+		{ID: 3, Parent: 1, Root: 1, Name: "probe", Cat: "deploy",
+			Start: 30 * time.Millisecond, End: 31 * time.Millisecond,
+			Err: `connect "refused"`},
+	}
+}
+
+// TestChromeGolden pins the exporter's byte-exact output shape: one complete
+// event per line inside a JSON array, virtual-time microsecond timestamps
+// with three decimals, tid = root span ID.
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if !json.Valid(got) {
+		t.Fatalf("exporter output is not valid JSON:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "chrome.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (regenerate by updating the file to the output below): %v\n%s", golden, err, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exporter output diverged from %s\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestChromeEventShape decodes the export and checks the trace-event fields
+// Perfetto relies on.
+func TestChromeEventShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		PID  int     `json:"pid"`
+		TID  uint64  `json:"tid"`
+		Args struct {
+			ID       uint64 `json:"id"`
+			Parent   uint64 `json:"parent"`
+			Detail   string `json:"detail"`
+			Attempts int    `json:"attempts"`
+			Err      string `json:"err"`
+		} `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Ph != "X" || e.PID != 1 || e.TID != 1 {
+			t.Fatalf("event %d: ph=%q pid=%d tid=%d, want X/1/1", i, e.Ph, e.PID, e.TID)
+		}
+	}
+	if events[0].TS != 1500 || events[0].Dur != 52001.234-1500 {
+		t.Fatalf("root ts/dur = %v/%v", events[0].TS, events[0].Dur)
+	}
+	if events[1].Args.Parent != 1 || events[1].Args.Attempts != 3 || events[1].Args.Detail != "egs-docker" {
+		t.Fatalf("pull args = %+v", events[1].Args)
+	}
+	if events[2].Args.Err != `connect "refused"` {
+		t.Fatalf("probe err = %q", events[2].Args.Err)
+	}
+}
+
+// TestChromeWriterStreaming checks the incremental writer produces the same
+// bytes as the one-shot exporter and an empty trace is still valid JSON.
+func TestChromeWriterStreaming(t *testing.T) {
+	var oneShot, streamed bytes.Buffer
+	if err := WriteChrome(&oneShot, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	cw := NewChromeWriter(&streamed)
+	for _, s := range goldenSpans() {
+		cw.Emit(s)
+	}
+	if cw.Events() != 3 {
+		t.Fatalf("Events() = %d, want 3", cw.Events())
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oneShot.Bytes(), streamed.Bytes()) {
+		t.Fatalf("streaming output differs from one-shot:\n%s\nvs\n%s", streamed.Bytes(), oneShot.Bytes())
+	}
+
+	var empty bytes.Buffer
+	if err := WriteChrome(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(empty.Bytes()) {
+		t.Fatalf("empty trace is not valid JSON: %q", empty.String())
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+// ClusterOps bundles the per-cluster operation counters the cluster
+// backends (docker, kube, serverless) increment at the entry of each fig. 4
+// phase. The zero value (no registry attached) has all-nil handles, which
+// no-op — backends embed it by value and never check for enablement.
+type ClusterOps struct {
+	Pull      *Counter
+	Create    *Counter
+	ScaleUp   *Counter
+	ScaleDown *Counter
+}
+
+// NewClusterOps resolves cluster_ops_total{cluster,op} handles for one
+// cluster. A nil registry returns the zero (disabled) bundle.
+func NewClusterOps(reg *Registry, cluster string) ClusterOps {
+	if reg == nil {
+		return ClusterOps{}
+	}
+	series := func(op string) *Counter {
+		return reg.Counter(`cluster_ops_total{cluster="` + cluster + `",op="` + op + `"}`)
+	}
+	return ClusterOps{
+		Pull:      series("pull"),
+		Create:    series("create"),
+		ScaleUp:   series("scale_up"),
+		ScaleDown: series("scale_down"),
+	}
+}

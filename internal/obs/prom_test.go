@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusRoundTrip writes a registry — including label-bearing
+// series — as text exposition and parses it back.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("deploy_retries_total{cluster=\"egs-docker\",phase=\"pull\"}").Add(3)
+	r.Counter("deploy_retries_total{cluster=\"far-docker\",phase=\"scale_up\"}").Add(1)
+	r.Counter("dispatch_packet_ins_total").Add(42)
+	r.Gauge("replay_inflight").Set(7)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// One TYPE header per base name, even with two labeled variants.
+	if n := strings.Count(text, "# TYPE deploy_retries_total counter"); n != 1 {
+		t.Fatalf("deploy_retries_total TYPE headers = %d, want 1\n%s", n, text)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Map()
+	if len(parsed) != len(want) {
+		t.Fatalf("parsed %d series, want %d: %v vs %v", len(parsed), len(want), SortedNames(parsed), SortedNames(want))
+	}
+	for name, v := range want {
+		if parsed[name] != v {
+			t.Fatalf("series %s = %v after round trip, want %v", name, parsed[name], v)
+		}
+	}
+}
+
+func TestPrometheusParseErrors(t *testing.T) {
+	if _, err := ParsePrometheus(strings.NewReader("lonely_name\n")); err == nil {
+		t.Fatal("line without value should fail")
+	}
+	if _, err := ParsePrometheus(strings.NewReader("name notanumber\n")); err == nil {
+		t.Fatal("non-numeric value should fail")
+	}
+	m, err := ParsePrometheus(strings.NewReader("# comment\n\nok 1\n"))
+	if err != nil || m["ok"] != 1 {
+		t.Fatalf("comment/blank handling: %v %v", m, err)
+	}
+}
+
+// TestWriteHistText checks the histogram exposition shape: cumulative
+// buckets in seconds, a +Inf bucket, _sum and _count.
+func TestWriteHistText(t *testing.T) {
+	var buf bytes.Buffer
+	each := func(yield func(le float64, cumulative uint64)) {
+		yield(0.001, 2)
+		yield(0.010, 5)
+	}
+	if err := WriteHistText(&buf, "request_seconds", each, 6, 60*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE request_seconds histogram",
+		`request_seconds_bucket{le="0.001"} 2`,
+		`request_seconds_bucket{le="0.01"} 5`,
+		`request_seconds_bucket{le="+Inf"} 6`,
+		"request_seconds_sum 0.06",
+		"request_seconds_count 6",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed[`request_seconds_bucket{le="+Inf"}`] != 6 || parsed["request_seconds_count"] != 6 {
+		t.Fatalf("parsed histogram: %v", parsed)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"transparentedge/internal/cluster"
 	"transparentedge/internal/faults"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/registry"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
@@ -67,12 +68,17 @@ type Platform struct {
 	// faults is the platform's fault injector; nil (the default) injects
 	// nothing at zero cost.
 	faults *faults.Injector
+	// ops are the per-operation obs counters (zero value = disabled).
+	ops obs.ClusterOps
 }
 
 // SetFaults attaches a fault injector (nil disables injection). Each fig. 4
 // phase consults it at entry; CrashAfterStart models a module instance that
 // traps immediately after instantiation, so its endpoint never opens.
 func (pl *Platform) SetFaults(in *faults.Injector) { pl.faults = in }
+
+// SetObs registers the platform's cluster_ops_total counters (nil disables).
+func (pl *Platform) SetObs(reg *obs.Registry) { pl.ops = obs.NewClusterOps(reg, pl.name) }
 
 type function struct {
 	spec     spec.ContainerSpec
@@ -121,6 +127,7 @@ func (pl *Platform) HasImages(a *spec.Annotated) bool {
 
 // Pull implements cluster.Cluster.
 func (pl *Platform) Pull(p *sim.Proc, a *spec.Annotated) error {
+	pl.ops.Pull.Inc()
 	if err := pl.faults.PullError(p.Now()); err != nil {
 		return err
 	}
@@ -155,6 +162,7 @@ func (pl *Platform) Create(p *sim.Proc, a *spec.Annotated) error {
 	if _, dup := pl.functions[a.UniqueName]; dup {
 		return fmt.Errorf("%w: %s", cluster.ErrAlreadyExists, a.UniqueName)
 	}
+	pl.ops.Create.Inc()
 	if err := pl.faults.CreateError(p.Now()); err != nil {
 		return err
 	}
@@ -181,6 +189,7 @@ func (pl *Platform) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) 
 	if f.running {
 		return pl.instance(name, f), nil
 	}
+	pl.ops.ScaleUp.Inc()
 	if err := pl.faults.ScaleUpError(p.Now()); err != nil {
 		return cluster.Instance{}, err
 	}
@@ -216,6 +225,7 @@ func (pl *Platform) ScaleDown(p *sim.Proc, name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", cluster.ErrNotCreated, name)
 	}
+	pl.ops.ScaleDown.Inc()
 	if err := pl.faults.ScaleDownError(p.Now()); err != nil {
 		return err
 	}

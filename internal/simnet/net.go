@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"time"
 
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 )
 
@@ -136,6 +137,23 @@ type Network struct {
 
 	pktPool  []*Packet   // recycled packets (NewPacket / FreePacket)
 	xferPool []*transfer // recycled link transfers with their events
+
+	// Obs counter handles (nil without SetObs; nil *obs.Counter no-ops).
+	// gets - puts - drops bounds the packets still alive outside the free
+	// list, so a growing residue over a steady-state run flags a leak.
+	cPoolGets, cPoolPuts, cDrops *obs.Counter
+}
+
+// SetObs registers the network's packet-pool and drop counters in the
+// registry. A nil registry leaves the handles nil, keeping the datapath's
+// zero-allocation hot path untouched.
+func (n *Network) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.cPoolGets = reg.Counter("simnet_packet_pool_gets_total")
+	n.cPoolPuts = reg.Counter("simnet_packet_pool_puts_total")
+	n.cDrops = reg.Counter("simnet_packet_drops_total")
 }
 
 // NewNetwork returns an empty network bound to kernel k.
@@ -153,6 +171,7 @@ func (n *Network) NextPacketID() uint64 {
 // NewPacket returns a zeroed packet from the network's free list (or a fresh
 // one). The caller owns it until it is handed to Port.Send.
 func (n *Network) NewPacket() *Packet {
+	n.cPoolGets.Inc()
 	if ln := len(n.pktPool); ln > 0 {
 		p := n.pktPool[ln-1]
 		n.pktPool[ln-1] = nil
@@ -168,6 +187,7 @@ func (n *Network) FreePacket(p *Packet) {
 	if p == nil {
 		return
 	}
+	n.cPoolPuts.Inc()
 	*p = Packet{}
 	n.pktPool = append(n.pktPool, p)
 }
@@ -357,6 +377,7 @@ func (d *direction) transmit(pkt *Packet, deliver func(*Packet)) {
 	loss := d.link.cfg.Loss + d.link.extraLoss
 	if d.link.down || (loss > 0 && k.Rand().Float64() < loss) {
 		d.link.Dropped++
+		d.link.net.cDrops.Inc()
 		return // dropped packets are not recycled (see package comment)
 	}
 	lat := d.link.latency()

@@ -29,6 +29,7 @@ import (
 	"transparentedge/internal/docker"
 	"transparentedge/internal/faults"
 	"transparentedge/internal/kube"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/openflow"
 	"transparentedge/internal/registry"
 	"transparentedge/internal/serverless"
@@ -99,8 +100,17 @@ type Options struct {
 	Predictor       core.Predictor
 	PredictInterval time.Duration
 	PredictHorizon  time.Duration
-	// Log receives controller event lines.
-	Log func(format string, args ...any)
+	// Log receives controller event lines (legacy printf hook); Events is
+	// the structured replacement and wins when both are set.
+	Log    func(format string, args ...any)
+	Events func(obs.Event)
+	// Trace, when set, records per-request span trees across the whole
+	// stack (dispatch pipeline, deploy phases, probing). Nil = off at zero
+	// cost.
+	Trace *obs.Tracer
+	// Counters, when set, registers the controller's, network's, clusters'
+	// and fault plan's counters in the registry. Nil = off at zero cost.
+	Counters *obs.Registry
 }
 
 // Testbed is the assembled simulation.
@@ -271,6 +281,10 @@ func New(opts Options) *Testbed {
 	ctrlCfg.AutoScaleDown = opts.AutoScaleDown
 	ctrlCfg.LocalSchedulerName = opts.LocalSchedulerName
 	ctrlCfg.Log = opts.Log
+	ctrlCfg.Events = opts.Events
+	ctrlCfg.Trace = opts.Trace
+	ctrlCfg.Counters = opts.Counters
+	tb.Net.SetObs(opts.Counters)
 	if opts.SwitchIdleTimeout > 0 {
 		ctrlCfg.SwitchIdleTimeout = opts.SwitchIdleTimeout
 	}
@@ -306,6 +320,7 @@ func New(opts Options) *Testbed {
 
 	if opts.EnableDocker {
 		tb.Docker = docker.New("egs-docker", tb.Runtime, behaviors, DockerConfig())
+		tb.Docker.SetObs(opts.Counters)
 		tb.Ctrl.AddCluster(tb.Docker, KindDocker)
 	}
 	if opts.EnableKube {
@@ -319,6 +334,7 @@ func New(opts Options) *Testbed {
 			}
 		}
 		kc := kube.New("egs-k8s", k, kubeCfg)
+		kc.SetObs(opts.Counters)
 		kc.AddNode("egs", tb.Runtime, behaviors)
 		kc.Start()
 		tb.Kube = kc
@@ -330,6 +346,7 @@ func New(opts Options) *Testbed {
 		// different artifact type than container images.
 		moduleStore := registry.NewClient(tb.EGS, resolver, registry.DefaultClientConfig())
 		tb.Serverless = serverless.New("egs-serverless", tb.EGS, moduleStore, behaviors, serverless.DefaultConfig())
+		tb.Serverless.SetObs(opts.Counters)
 		tb.Ctrl.AddCluster(tb.Serverless, KindServerless)
 	}
 
@@ -342,6 +359,7 @@ func New(opts Options) *Testbed {
 		farImages := registry.NewClient(tb.FarHost, resolver, registry.DefaultClientConfig())
 		tb.FarRuntime = container.NewRuntime(tb.FarHost, farImages, RuntimeConfig())
 		tb.FarDocker = docker.New("far-docker", tb.FarRuntime, behaviors, DockerConfig())
+		tb.FarDocker.SetObs(opts.Counters)
 		tb.Ctrl.AddCluster(tb.FarDocker, KindDocker)
 	}
 
@@ -372,6 +390,7 @@ func New(opts Options) *Testbed {
 	// or disabled spec this leaves every injector nil (the zero-cost path).
 	if opts.Faults != nil && opts.Faults.Enabled() {
 		tb.FaultPlan = faults.NewPlan(*opts.Faults)
+		tb.FaultPlan.SetObs(opts.Counters)
 		if tb.Docker != nil {
 			tb.Docker.SetFaults(tb.FaultPlan.For(tb.Docker.Name()))
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"transparentedge/internal/metrics"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/spec"
 	"transparentedge/internal/testbed"
@@ -56,6 +57,48 @@ type Options struct {
 	// RequestTimeout bounds each request (0 = wait forever, the paper's
 	// on-demand-with-waiting behavior). Timed-out requests count as errors.
 	RequestTimeout time.Duration
+	// Trace, when set, emits one "request" root span per replayed request
+	// (arrival to completion, Err on failure) — so a replay's span count for
+	// that name equals the request count. Nil = off at zero cost.
+	Trace *obs.Tracer
+	// Counters, when set, registers replay_inflight (gauge, with high-water
+	// mark) and replay_errors_total. Nil = off at zero cost.
+	Counters *obs.Registry
+}
+
+// replayObs bundles the replay layer's resolved obs handles; the zero value
+// (obs off) no-ops everywhere, so both replay strategies instrument
+// unconditionally.
+type replayObs struct {
+	tr   *obs.Tracer
+	in   *obs.Gauge
+	errs *obs.Counter
+}
+
+func newReplayObs(opts Options) replayObs {
+	o := replayObs{tr: opts.Trace}
+	if reg := opts.Counters; reg != nil {
+		o.in = reg.Gauge("replay_inflight")
+		o.errs = reg.Counter("replay_errors_total")
+	}
+	return o
+}
+
+// request emits the per-request root span and accounting around one
+// replayed request's execution.
+func (o replayObs) request(at, end sim.Time, serviceKey string, err error) {
+	if err != nil {
+		o.errs.Inc()
+	}
+	if o.tr == nil {
+		return
+	}
+	s := obs.Span{Name: "request", Cat: "request", Detail: serviceKey,
+		Start: time.Duration(at), End: time.Duration(end)}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	o.tr.Emit(s)
 }
 
 // Replay registers trace.Config.Services instances of the given Table I
@@ -137,10 +180,11 @@ func ReplayWith(tb *testbed.Testbed, trace *Trace, serviceKey string, opts Optio
 		}
 	})
 
+	ro := newReplayObs(opts)
 	if opts.GoroutinePerRequest {
-		replayGoroutines(tb, trace, res, regs, serviceKey, opts, prepDone)
+		replayGoroutines(tb, trace, res, regs, serviceKey, opts, prepDone, ro)
 	} else {
-		replayEvents(tb, trace, res, regs, serviceKey, opts, prepDone)
+		replayEvents(tb, trace, res, regs, serviceKey, opts, prepDone, ro)
 	}
 
 	// Run until all requests completed (generous bound: trace duration
@@ -153,7 +197,7 @@ func ReplayWith(tb *testbed.Testbed, trace *Trace, serviceKey string, opts Optio
 // up front and parked until its arrival time. O(trace) goroutines and parked
 // stacks — kept behind Options.GoroutinePerRequest for parity checking.
 func replayGoroutines(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
-	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time]) {
+	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time], ro replayObs) {
 	firstSeen := make(map[int]bool, trace.Config.Services)
 	for _, r := range trace.Requests {
 		r := r
@@ -165,7 +209,10 @@ func replayGoroutines(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 			t0, _ := prepDone.Await(p)
 			p.SleepUntil(t0 + r.At)
 			at := p.Now()
+			ro.in.Add(1)
 			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout)
+			ro.in.Add(-1)
+			ro.request(at, p.Now(), serviceKey, err)
 			if err != nil {
 				res.Errors++
 				return
@@ -183,7 +230,7 @@ func replayGoroutines(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 // heap churn) and each request's process is spawned lazily at its arrival
 // time, so peak memory tracks in-flight requests instead of trace length.
 func replayEvents(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
-	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time]) {
+	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time], ro replayObs) {
 	firstSeen := make(map[int]bool, trace.Config.Services)
 	isFirst := make([]bool, len(trace.Requests))
 	for i, r := range trace.Requests {
@@ -196,10 +243,12 @@ func replayEvents(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 	var start func(i int, at sim.Time)
 	start = func(i int, at sim.Time) {
 		inFlight++
+		ro.in.Add(1)
 		r := trace.Requests[i]
 		tb.K.Go("replay", func(p *sim.Proc) {
 			defer func() {
 				inFlight--
+				ro.in.Add(-1)
 				if len(queued) > 0 && (opts.MaxInFlight <= 0 || inFlight < opts.MaxInFlight) {
 					next := queued[0]
 					queued = queued[1:]
@@ -207,6 +256,7 @@ func replayEvents(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 				}
 			}()
 			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout)
+			ro.request(at, p.Now(), serviceKey, err)
 			if err != nil {
 				res.Errors++
 				return
