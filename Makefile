@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race race-hot race-faults race-obs bench fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard bench bench-10m fuzz experiments examples clean
 
 all: check
 
 # The full pre-merge gate: formatting, compile, static analysis, tests,
 # race detector (everywhere, plus focused passes over the sweep engine's
 # worker-pool code, the sim kernel it drives, the fault-injection
-# sweep with its serial-vs-parallel fingerprint parity check, and the
-# observability layer's zero-overhead/determinism invariants).
-check: fmt build vet test race race-hot race-faults race-obs
+# sweep with its serial-vs-parallel fingerprint parity check, the
+# observability layer's zero-overhead/determinism invariants, and the
+# sharded kernel's cross-shard fingerprint parity).
+check: fmt build vet test race race-hot race-faults race-obs race-shard
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -45,17 +46,30 @@ race-obs:
 	$(GO) test -race -count 1 -run 'TestNilHandlesAllocFree|TestEnabledCounterAllocFree' ./internal/obs
 	$(GO) test -race -count 1 -run 'TestTracedFingerprintParity|TestReplayScaleResultParity|TestReplayScaleSpanCount' ./internal/experiments
 
+# Sharded-kernel gate under the race detector: shard-group window workers,
+# the cross-shard fabric, and the serial-vs-sharded replay fingerprint
+# parity checks (including traced and fault-injected runs).
+race-shard:
+	$(GO) test -race -count 1 -run 'TestShardGroup|TestFabric' ./internal/sim ./internal/simnet
+	$(GO) test -race -count 1 -run 'TestReplayShard' ./internal/experiments
+
 # Regenerate every table and figure of the paper (plus ablations) and the
 # scale benchmarks, recording machine-readable results. The replay-engine
 # sweep (10k/100k/1M requests) lands in BENCH_replay.json; the parallel
 # sweep engine (serial vs parallel wall time, speedup, allocs) in
 # BENCH_sweep.json; everything else in BENCH_all.json.
 bench:
-	$(GO) test -json -bench 'BenchmarkReplayScale' -benchmem -benchtime 1x -run '^$$' . > BENCH_replay.json
+	$(GO) test -json -bench 'BenchmarkReplayScale|BenchmarkReplayShard$$' -benchmem -benchtime 1x -run '^$$' . > BENCH_replay.json
 	$(GO) test -json -bench 'BenchmarkSweep' -benchmem -benchtime 1x -run '^$$' . > BENCH_sweep.json
 	$(GO) test -json -bench 'BenchmarkObsOverhead' -benchmem -benchtime 1x -run '^$$' . > BENCH_obs.json
 	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
 	$(GO) run ./cmd/edgesim -json scale-faults > BENCH_faults.json
+
+# Opt-in paper-scale gate: the 10M-request sharded replay (multi-minute on
+# small machines; on >= 8 cores it should land near the serial engine's 1M
+# wall time). Appends to BENCH_replay.json.
+bench-10m:
+	$(GO) test -json -bench 'BenchmarkReplayShard_10M' -benchmem -benchtime 1x -run '^$$' . >> BENCH_replay.json
 
 # Fuzz the YAML parser for a minute.
 fuzz:

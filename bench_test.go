@@ -333,6 +333,46 @@ func BenchmarkReplayScale_10k(b *testing.B)  { replayScale(b, 10_000) }
 func BenchmarkReplayScale_100k(b *testing.B) { replayScale(b, 100_000) }
 func BenchmarkReplayScale_1M(b *testing.B)   { replayScale(b, 1_000_000) }
 
+// benchReplayShard runs the sharded multi-region replay serially (one
+// kernel) and sharded (eight kernels, one per region plus the backbone),
+// asserts the two runs are bit-identical, and reports the wall-clock
+// speedup. Parity is asserted on every machine; the >= 3x speedup floor
+// only on >= 4 cores (conservative-lookahead windows cannot beat the
+// serial kernel without parallel hardware).
+func benchReplayShard(b *testing.B, requests int) {
+	b.ReportAllocs()
+	var serial, sharded edge.ReplayShardResult
+	for i := 0; i < b.N; i++ {
+		serial = edge.RunReplayShard(benchSeed, requests, 1, nil)
+		sharded = edge.RunReplayShard(benchSeed, requests, 8, nil)
+		if serial.Errors != 0 {
+			b.Fatalf("serial replay errors = %d", serial.Errors)
+		}
+		if serial.Fingerprint() != sharded.Fingerprint() {
+			b.Fatalf("sharded run diverges from serial: %016x != %016x",
+				sharded.Fingerprint(), serial.Fingerprint())
+		}
+	}
+	speedup := float64(serial.Wall) / float64(sharded.Wall)
+	b.ReportMetric(ms(serial.Wall), "serial_ms")
+	b.ReportMetric(ms(sharded.Wall), "sharded_ms")
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(sharded.AllocsPerRequest, "allocs/request")
+	b.ReportMetric(ms(sharded.Median), "median_ms")
+	b.Logf("\n%s", sharded.String())
+	if runtime.NumCPU() >= 4 && speedup < 3 {
+		b.Fatalf("speedup %.2fx < 3x over serial on %d cores", speedup, runtime.NumCPU())
+	}
+}
+
+// BenchmarkReplayShard is the tentpole gate: a 1M-request trace over eight
+// edge regions, serial vs eight shards, bit-identical results. The 10M
+// variant (the paper-scale target: 10M requests in roughly the serial
+// engine's 1M wall time, given >= 8 cores) is opt-in via `make bench-10m` —
+// it is a multi-minute run on small machines.
+func BenchmarkReplayShard(b *testing.B)     { benchReplayShard(b, 1_000_000) }
+func BenchmarkReplayShard_10M(b *testing.B) { benchReplayShard(b, 10_000_000) }
+
 // BenchmarkObsOverhead measures the observability tax on the replay engine:
 // the same 100k-request replay with obs off (the nil-handle zero-cost path)
 // and with a tracer ring plus counter registry attached. allocs/request of

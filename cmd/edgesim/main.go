@@ -30,8 +30,9 @@ var (
 	clients  = flag.Int("clients", 2000, "one-shot client count for scale-churn")
 	serial   = flag.Bool("serial", false, "scale-dispatch: serial per-cluster state queries (the paper's original dispatcher)")
 
-	replayRequests = flag.Int("replay-requests", 10000, "trace length for scale-replay")
+	replayRequests = flag.Int("replay-requests", 10000, "trace length for scale-replay and scale-shard")
 	goroutines     = flag.Bool("goroutines", false, "scale-replay: legacy goroutine-per-request arrivals instead of event-driven")
+	shards         = flag.Int("shards", 1, "scale-shard: kernel count for the sharded multi-region replay (1 = serial)")
 
 	procs      = flag.Int("procs", 0, "worker/CPU bound for sweep and the scale-* experiments (0 = all cores)")
 	asJSON     = flag.Bool("json", false, "sweep/scale-*: emit the uniform JSON result shape instead of text")
@@ -100,6 +101,23 @@ func (o *obsRun) finish(printText bool) error {
 	}
 	if o.reg != nil && printText {
 		return edge.WritePrometheusText(os.Stdout, o.reg)
+	}
+	return nil
+}
+
+// maxShards bounds -shards: the scenario has only DefaultRegions+1 = 9
+// domains, so more kernels than that can never help; 64 leaves headroom if
+// the region count grows, while still rejecting nonsense values early.
+const maxShards = 64
+
+// validateShards checks the -shards flag. Results are bit-identical at
+// every accepted value, so the only invalid inputs are structural.
+func validateShards(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d); 1 is the serial case", n)
+	}
+	if n > maxShards {
+		return fmt.Errorf("-shards %d exceeds the maximum %d", n, maxShards)
 	}
 	return nil
 }
@@ -180,6 +198,8 @@ Experiments (each reproduces one table/figure of the paper):
   scale-dispatch    dispatch latency vs cluster count (-clusters, -serial)
   scale-churn       controller-state bounds under client churn (-clients)
   scale-replay      large-trace replay cost (-replay-requests, -goroutines)
+  scale-shard       sharded multi-region replay (-replay-requests, -shards;
+                    fingerprints are bit-identical at every shard count)
   sweep             parallel with/without-waiting sweep across seeds
                     (-sweep-seeds, -sweep-requests, -procs, -json)
   scale-faults      deterministic fault-injection sweep: retries, next-best
@@ -200,7 +220,7 @@ func run(which string) error {
 		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
 			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
-			"scale-dispatch", "scale-churn", "scale-replay"} {
+			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard"} {
 			if err := run(w); err != nil {
 				return fmt.Errorf("%s: %w", w, err)
 			}
@@ -354,6 +374,19 @@ func run(which string) error {
 			// (skipped when obs is on: it would double spans and counters).
 			fmt.Print(edge.RunReplayScale(*seed, *replayRequests, false).String())
 		}
+	case "scale-shard":
+		if err := validateShards(*shards); err != nil {
+			return err
+		}
+		limitProcs()
+		if *asJSON {
+			out := edge.RunReplayShard(*seed, *replayRequests, *shards, nil, o.options()...).JSON()
+			if err := o.finish(false); err != nil {
+				return err
+			}
+			return emitJSON(out)
+		}
+		fmt.Print(edge.RunReplayShard(*seed, *replayRequests, *shards, nil, o.options()...).String())
 	case "sweep":
 		vs := edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs)
 		attachVariantObs(vs, o)

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateShards(t *testing.T) {
+	for _, n := range []int{1, 2, 8, maxShards} {
+		if err := validateShards(n); err != nil {
+			t.Errorf("validateShards(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -8} {
+		err := validateShards(n)
+		if err == nil {
+			t.Errorf("validateShards(%d) = nil, want error", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), ">= 1") {
+			t.Errorf("validateShards(%d) error %q does not explain the lower bound", n, err)
+		}
+	}
+	if err := validateShards(maxShards + 1); err == nil {
+		t.Errorf("validateShards(%d) = nil, want error", maxShards+1)
+	}
+}
+
+// The scale-shard experiment must refuse a bad -shards value before
+// building anything (run returns the validation error verbatim).
+func TestRunScaleShardRejectsBadShards(t *testing.T) {
+	old := *shards
+	defer func() { *shards = old }()
+	*shards = 0
+	err := run("scale-shard")
+	if err == nil {
+		t.Fatal("run(scale-shard) with -shards 0 must error")
+	}
+	if !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("error %q does not mention -shards", err)
+	}
+}

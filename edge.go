@@ -318,6 +318,8 @@ type (
 	CookieChurnResult = experiments.CookieChurnResult
 	// ReplayScaleResult summarizes one large-trace replay measurement.
 	ReplayScaleResult = experiments.ReplayScaleResult
+	// ReplayShardResult summarizes one sharded multi-region replay.
+	ReplayShardResult = experiments.ReplayShardResult
 )
 
 // RunDispatchScale measures the packet-in dispatch latency over the given
@@ -340,6 +342,14 @@ func RunCookieChurn(seed int64, clients int, options ...ExperimentOption) experi
 // the legacy goroutine-per-request strategy, for comparison).
 func RunReplayScale(seed int64, requests int, eventDriven bool, options ...ExperimentOption) experiments.ReplayScaleResult {
 	return experiments.ReplayScale(seed, requests, eventDriven, options...)
+}
+
+// RunReplayShard replays a synthetic trace against the sharded multi-region
+// scenario on the given number of kernels. shards == 1 is the serial
+// degenerate case; every shard count produces a bit-identical Fingerprint.
+// spec, when non-nil, injects a deterministic fault plan into every region.
+func RunReplayShard(seed int64, requests, shards int, spec *FaultSpec, options ...ExperimentOption) experiments.ReplayShardResult {
+	return experiments.ReplayShard(seed, requests, shards, spec, options...)
 }
 
 // Sweep engine types: many independent scenario variants, each on a private

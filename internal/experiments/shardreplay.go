@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"transparentedge/internal/catalog"
+	"transparentedge/internal/faults"
+	"transparentedge/internal/metrics"
+	"transparentedge/internal/testbed"
+	"transparentedge/internal/workload"
+)
+
+// ReplayShardResult reports one sharded multi-region replay: the simulated
+// results (which must be bit-identical at every shard count) plus the
+// harness cost of producing them.
+type ReplayShardResult struct {
+	Requests int
+	Shards   int
+	Regions  int
+	// Wall is the host wall-clock time of the replay (build and trace
+	// generation excluded).
+	Wall time.Duration
+	// AllocsPerRequest is heap allocations divided by trace length.
+	AllocsPerRequest float64
+	// Errors / Median / P95 / Deployments summarize the merged scenario.
+	Errors      int
+	Median      time.Duration
+	P95         time.Duration
+	Deployments int
+	// PerRegionRequests is the number of completed requests per region.
+	PerRegionRequests []int
+	// Totals is the merged total-time histogram (region-order merge).
+	Totals *metrics.Hist
+	// Spans is the total span count across all per-region tracers (0
+	// untraced); SpanDigest is an FNV-1a digest of the retained spans
+	// drained in region order — the trace-byte determinism check.
+	Spans      uint64
+	SpanDigest uint64
+	// Counters is the region-summed registry snapshot (nil uncounted).
+	Counters map[string]float64
+}
+
+// Fingerprint digests every deterministic simulated output: per-region
+// request counts and series fingerprints plus the merged histogram. Wall
+// time, allocations, and shard count are excluded — runs at different
+// -shards values must fingerprint identically.
+func (r ReplayShardResult) Fingerprint() uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(r.Requests))
+	mix(uint64(r.Regions))
+	mix(uint64(r.Errors))
+	mix(uint64(r.Deployments))
+	mix(uint64(r.Median))
+	mix(uint64(r.P95))
+	for _, n := range r.PerRegionRequests {
+		mix(uint64(n))
+	}
+	if r.Totals != nil {
+		mix(r.Totals.Fingerprint())
+	}
+	return h
+}
+
+// String renders the measurement.
+func (r ReplayShardResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharded replay of %d requests (%d regions, %d shards)\n", r.Requests, r.Regions, r.Shards)
+	fmt.Fprintf(&b, "  wall time        %v\n", r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  allocs/request   %.1f\n", r.AllocsPerRequest)
+	fmt.Fprintf(&b, "  median / p95     %v / %v\n", r.Median.Round(time.Microsecond), r.P95.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  errors           %d\n", r.Errors)
+	fmt.Fprintf(&b, "  deployments      %d\n", r.Deployments)
+	fmt.Fprintf(&b, "  fingerprint      %016x\n", r.Fingerprint())
+	return b.String()
+}
+
+// JSON returns the uniform result shape.
+func (r ReplayShardResult) JSON() JSONResult {
+	m := map[string]float64{
+		"requests":       float64(r.Requests),
+		"shards":         float64(r.Shards),
+		"regions":        float64(r.Regions),
+		"wall_ms":        ms(r.Wall),
+		"allocs_per_req": r.AllocsPerRequest,
+		"errors":         float64(r.Errors),
+		"median_ms":      ms(r.Median),
+		"p95_ms":         ms(r.P95),
+		"deployments":    float64(r.Deployments),
+		"fingerprint":    float64(r.Fingerprint()),
+	}
+	if r.Spans > 0 {
+		m["spans"] = float64(r.Spans)
+	}
+	return JSONResult{
+		Experiment: "scale-shard",
+		Metrics:    m,
+		Counters:   r.Counters,
+	}
+}
+
+// replayShardConfig builds the sharded scenario's trace: the scale-replay
+// shape with one 20-client population per region. The trace depends only on
+// seed and length — never on the shard count.
+func replayShardConfig(seed int64, requests int) workload.Config {
+	cfg := replayScaleConfig(seed, requests)
+	cfg.Clients = testbed.DefaultRegions * 20
+	return cfg
+}
+
+// ReplayShard replays a synthetic trace of the given length against the
+// sharded multi-region scenario (testbed.DefaultRegions edge sites plus a
+// cloud backbone) on the given number of kernels. shards == 1 is the serial
+// degenerate case; any other value must produce a bit-identical
+// Fingerprint, which the shard parity tests enforce. spec, when non-nil,
+// injects the deterministic fault plan into every region.
+func ReplayShard(seed int64, requests, shards int, spec *faults.Spec, options ...Option) ReplayShardResult {
+	o := applyOpts(options)
+	if requests < 8*2 {
+		requests = 8 * 2
+	}
+	trace := workload.Generate(replayShardConfig(seed, requests))
+	rs := testbed.NewRegions(testbed.RegionOptions{
+		Seed:    seed,
+		Shards:  shards,
+		Traced:  o.trace != nil,
+		Counted: o.counters != nil,
+		Faults:  spec,
+	})
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := workload.ReplaySharded(rs, trace, catalog.Nginx, workload.Options{
+		PrePull: true, PreCreate: true,
+	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		panic(err)
+	}
+
+	out := ReplayShardResult{
+		Requests:         requests,
+		Shards:           rs.Group.Shards(),
+		Regions:          len(rs.Sites),
+		Wall:             wall,
+		AllocsPerRequest: float64(after.Mallocs-before.Mallocs) / float64(len(trace.Requests)),
+		Errors:           res.Errors,
+		Median:           res.Totals.Median(),
+		P95:              res.Totals.Percentile(95),
+		Deployments:      res.Deployments,
+		Totals:           res.Totals,
+	}
+	for _, rres := range res.PerRegion {
+		out.PerRegionRequests = append(out.PerRegionRequests, rres.Totals.Len())
+	}
+
+	// Drain per-region obs deterministically in region order: spans into
+	// the caller's tracer (and a digest for the trace-byte parity check),
+	// counters summed into the caller's registry.
+	if o.trace != nil {
+		var digest uint64 = 1469598103934665603
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				digest ^= v & 0xff
+				digest *= 1099511628211
+				v >>= 8
+			}
+		}
+		mixs := func(s string) {
+			for i := 0; i < len(s); i++ {
+				digest ^= uint64(s[i])
+				digest *= 1099511628211
+			}
+		}
+		for _, site := range rs.Sites {
+			out.Spans += site.Trace.Emitted()
+			for _, s := range site.Trace.Spans() {
+				mixs(s.Name)
+				mixs(s.Cat)
+				mixs(s.Detail)
+				mixs(s.Err)
+				mix(uint64(s.Start))
+				mix(uint64(s.End))
+				o.trace.Emit(s)
+			}
+		}
+		out.SpanDigest = digest
+	}
+	if o.counters != nil {
+		merged := make(map[string]float64)
+		for _, site := range rs.Sites {
+			for name, v := range site.Counters.Map() {
+				merged[name] += v
+			}
+		}
+		out.Counters = merged
+		for _, site := range rs.Sites {
+			for _, s := range site.Counters.Snapshot() {
+				if s.Kind == "counter" {
+					o.counters.Counter(s.Name).Add(uint64(s.Value))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -30,7 +30,13 @@ type Hist struct {
 	sum    time.Duration
 	min    time.Duration
 	max    time.Duration
-	sumsq  float64
+	// sumsqHi/sumsqLo accumulate the sum of squared sample values as an
+	// exact 128-bit integer. Exactness matters beyond precision: integer
+	// accumulation is order-independent, so merging per-shard histograms
+	// yields bit-identical statistics (and fingerprints) to a histogram
+	// that saw every sample directly — float64 accumulation would make
+	// the fingerprint depend on merge order.
+	sumsqHi, sumsqLo uint64
 	// subBits is the per-histogram sub-bucket resolution; 0 means the
 	// package default (histSubBits). Histograms with different resolutions
 	// have incompatible bucket layouts and refuse to Merge.
@@ -117,8 +123,25 @@ func (h *Hist) Add(at, value time.Duration) {
 	}
 	h.total++
 	h.sum += value
-	f := float64(value)
-	h.sumsq += f * f
+	h.addSq(value)
+}
+
+// addSq folds value² into the exact 128-bit sum of squares.
+func (h *Hist) addSq(value time.Duration) {
+	v := uint64(value)
+	if value < 0 {
+		v = uint64(-value)
+	}
+	hi, lo := bits.Mul64(v, v)
+	var carry uint64
+	h.sumsqLo, carry = bits.Add64(h.sumsqLo, lo, 0)
+	h.sumsqHi += hi + carry
+}
+
+// sumsq returns the float64 view of the exact sum of squares (read-time
+// rounding only; the accumulator itself never rounds).
+func (h *Hist) sumsq() float64 {
+	return float64(h.sumsqHi)*float64(1<<32)*float64(1<<32) + float64(h.sumsqLo)
 }
 
 // Len returns the number of recorded samples.
@@ -144,7 +167,7 @@ func (h *Hist) Stddev() time.Duration {
 		return 0
 	}
 	mean := float64(h.sum) / float64(h.total)
-	v := h.sumsq/float64(h.total) - mean*mean
+	v := h.sumsq()/float64(h.total) - mean*mean
 	if v < 0 {
 		v = 0
 	}
@@ -233,7 +256,8 @@ func (h *Hist) Fingerprint() uint64 {
 	word(uint64(h.sum))
 	word(uint64(h.min))
 	word(uint64(h.max))
-	word(math.Float64bits(h.sumsq))
+	word(h.sumsqHi)
+	word(h.sumsqLo)
 	for i, c := range h.counts {
 		if c == 0 {
 			continue
@@ -288,6 +312,8 @@ func (h *Hist) Merge(other *Hist) error {
 	}
 	h.total += other.total
 	h.sum += other.sum
-	h.sumsq += other.sumsq
+	var carry uint64
+	h.sumsqLo, carry = bits.Add64(h.sumsqLo, other.sumsqLo, 0)
+	h.sumsqHi += other.sumsqHi + carry
 	return nil
 }

@@ -21,8 +21,10 @@
 //   - a binary heap for arbitrary cancellable events (At/After);
 //   - an immediate FIFO for zero-delay events (Defer) — appends are in
 //     (time, sequence) order by construction, so no heap ops are needed;
-//   - a staged FIFO for monotone batch schedules (AtBatch) — pre-sorted
-//     arrival schedules append in O(1) per event instead of O(log n).
+//   - staged FIFOs ("lanes") for monotone batch schedules (AtBatch) —
+//     pre-sorted arrival schedules append in O(1) per event instead of
+//     O(log n); concurrent batches land in separate lanes so several
+//     overlapping schedules stay O(1) per event too.
 //
 // Fire-and-forget events scheduled with AfterFree additionally recycle
 // their Event structs through a free list, keeping the simulation's
@@ -122,6 +124,21 @@ type stagedEvent struct {
 	fn   func(int)
 }
 
+// stagedLane is one monotone FIFO of staged events. A lane only ever holds
+// non-decreasing timestamps, so its head is its minimum; the kernel keeps
+// several lanes so overlapping AtBatch schedules (e.g. one arrival schedule
+// per co-hosted region) each extend their own lane in O(1).
+type stagedLane struct {
+	events []stagedEvent
+	head   int
+}
+
+func (ln *stagedLane) empty() bool { return ln.head >= len(ln.events) }
+
+// tailWhen returns the timestamp of the last entry; only valid when the lane
+// is non-empty.
+func (ln *stagedLane) tailWhen() Time { return ln.events[len(ln.events)-1].when }
+
 // Kernel is a discrete-event simulation executor. The zero value is not
 // usable; construct with New.
 type Kernel struct {
@@ -136,8 +153,7 @@ type Kernel struct {
 	imm     []immEvent // zero-delay FIFO (Defer)
 	immHead int
 
-	staged     []stagedEvent // monotone batch FIFO (AtBatch)
-	stagedHead int
+	staged []stagedLane // monotone batch FIFOs (AtBatch)
 
 	free []*Event // recycled AfterFree events
 }
@@ -205,6 +221,11 @@ func (k *Kernel) Schedule(e *Event, t Time) {
 	if e.k != k {
 		panic("sim: Schedule on an event from another kernel")
 	}
+	if e.pooled {
+		// AfterFree events recycle through the free list the moment they
+		// fire; re-arming one from user code would corrupt the pool.
+		panic("sim: Schedule on a pooled (AfterFree) event")
+	}
 	e.when = t
 	e.seq = k.seq
 	k.seq++
@@ -264,14 +285,21 @@ func (k *Kernel) AfterFree(d time.Duration, fn func()) {
 	heap.Push(&k.queue, e)
 }
 
+// maxStagedLanes bounds the number of staged lanes the kernel keeps; a
+// batch that fits no lane once the cap is reached falls back to individual
+// heap scheduling (slower, ordered identically). The cap only exists to keep
+// nextSource's lane scan O(1)-ish for pathological callers.
+const maxStagedLanes = 32
+
 // AtBatch schedules fn(i) at times[i] for every i. times must be
 // non-decreasing with times[0] >= Now() (a monotone arrival schedule, e.g.
-// a trace sorted by arrival time); violations panic. When the batch extends
-// the staged queue monotonically — always the case unless an earlier batch
-// still has later entries pending — each event is appended in O(1) with no
-// heap operations and no per-event closure, so scheduling a whole trace is
-// O(n). Otherwise it falls back to individual heap scheduling, which is
-// slower but ordered identically.
+// a trace sorted by arrival time); violations panic. Each batch extends a
+// staged lane whose tail is <= times[0] (or opens a fresh lane), so every
+// event is appended in O(1) with no heap operations and no per-event
+// closure — scheduling a whole trace is O(n), and several overlapping
+// batches (one arrival schedule per region) stay O(n) too. Only when the
+// lane cap is exhausted does it fall back to individual heap scheduling,
+// which is slower but ordered identically.
 func (k *Kernel) AtBatch(times []Time, fn func(i int)) {
 	if len(times) == 0 {
 		return
@@ -284,7 +312,8 @@ func (k *Kernel) AtBatch(times []Time, fn func(i int)) {
 			panic(fmt.Sprintf("sim: AtBatch times not monotone at %d: %v < %v", i, times[i], times[i-1]))
 		}
 	}
-	if k.stagedHead < len(k.staged) && times[0] < k.staged[len(k.staged)-1].when {
+	ln := k.stagedLaneFor(times[0])
+	if ln == nil {
 		for i, t := range times {
 			i := i
 			k.At(t, func() { fn(i) })
@@ -292,10 +321,32 @@ func (k *Kernel) AtBatch(times []Time, fn func(i int)) {
 		return
 	}
 	for i, t := range times {
-		k.staged = append(k.staged, stagedEvent{when: t, seq: k.seq, idx: i, fn: fn})
+		ln.events = append(ln.events, stagedEvent{when: t, seq: k.seq, idx: i, fn: fn})
 		k.seq++
 		k.live++
 	}
+}
+
+// stagedLaneFor picks the lane a batch starting at t can extend while
+// keeping every lane monotone: the first empty or tail-compatible lane wins.
+// It returns nil when no lane fits and the lane cap is reached.
+func (k *Kernel) stagedLaneFor(t Time) *stagedLane {
+	for i := range k.staged {
+		ln := &k.staged[i]
+		if ln.empty() {
+			ln.events = ln.events[:0]
+			ln.head = 0
+			return ln
+		}
+		if ln.tailWhen() <= t {
+			return ln
+		}
+	}
+	if len(k.staged) >= maxStagedLanes {
+		return nil
+	}
+	k.staged = append(k.staged, stagedLane{})
+	return &k.staged[len(k.staged)-1]
 }
 
 // nextHeap drains cancelled events off the heap top and returns the live
@@ -331,34 +382,42 @@ const (
 )
 
 // nextSource returns the queue holding the globally smallest (time, seq)
-// live event.
-func (k *Kernel) nextSource() int {
-	src := srcNone
+// live event, plus the staged lane index when that queue is srcStaged.
+// Every candidate goes through the same consider() update so the (when,
+// seq) tie-break stays total no matter how many sources exist — adding a
+// source cannot silently inherit a stale key from the previous winner.
+func (k *Kernel) nextSource() (src, lane int) {
+	src, lane = srcNone, -1
 	var when Time
 	var seq uint64
+	consider := func(s, ln int, w Time, q uint64) {
+		if src == srcNone || w < when || (w == when && q < seq) {
+			src, lane, when, seq = s, ln, w, q
+		}
+	}
 	if e := k.nextHeap(); e != nil {
-		src, when, seq = srcHeap, e.when, e.seq
+		consider(srcHeap, -1, e.when, e.seq)
 	}
 	if k.immHead < len(k.imm) {
 		ie := &k.imm[k.immHead]
-		if src == srcNone || ie.when < when || (ie.when == when && ie.seq < seq) {
-			src, when, seq = srcImm, ie.when, ie.seq
+		consider(srcImm, -1, ie.when, ie.seq)
+	}
+	for i := range k.staged {
+		ln := &k.staged[i]
+		if !ln.empty() {
+			se := &ln.events[ln.head]
+			consider(srcStaged, i, se.when, se.seq)
 		}
 	}
-	if k.stagedHead < len(k.staged) {
-		se := &k.staged[k.stagedHead]
-		if src == srcNone || se.when < when || (se.when == when && se.seq < seq) {
-			src = srcStaged
-		}
-	}
-	return src
+	return src, lane
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed (false when the queue
 // is empty).
 func (k *Kernel) Step() bool {
-	switch k.nextSource() {
+	src, lane := k.nextSource()
+	switch src {
 	case srcHeap:
 		e := heap.Pop(&k.queue).(*Event)
 		k.now = e.when
@@ -383,12 +442,13 @@ func (k *Kernel) Step() bool {
 		ie.fn()
 		return true
 	case srcStaged:
-		se := k.staged[k.stagedHead]
-		k.staged[k.stagedHead].fn = nil
-		k.stagedHead++
-		if k.stagedHead == len(k.staged) {
-			k.staged = k.staged[:0]
-			k.stagedHead = 0
+		ln := &k.staged[lane]
+		se := ln.events[ln.head]
+		ln.events[ln.head].fn = nil
+		ln.head++
+		if ln.head == len(ln.events) {
+			ln.events = ln.events[:0]
+			ln.head = 0
 		}
 		k.now = se.when
 		k.live--
@@ -417,12 +477,34 @@ func (k *Kernel) nextWhen() (Time, bool) {
 			w, ok = iw, true
 		}
 	}
-	if k.stagedHead < len(k.staged) {
-		if sw := k.staged[k.stagedHead].when; !ok || sw < w {
-			w, ok = sw, true
+	for i := range k.staged {
+		ln := &k.staged[i]
+		if !ln.empty() {
+			if sw := ln.events[ln.head].when; !ok || sw < w {
+				w, ok = sw, true
+			}
 		}
 	}
 	return w, ok
+}
+
+// NextWhen returns the timestamp of the next live event across all queues,
+// without executing anything. ok is false when no live events remain. Shard
+// coordinators use it to compute the global window floor.
+func (k *Kernel) NextWhen() (Time, bool) { return k.nextWhen() }
+
+// RunUntilBefore executes events with timestamps strictly before t. Unlike
+// RunUntil it never advances the clock past the last executed event, so a
+// shard can run a lookahead window [now, t) and still schedule at any time
+// >= its local clock afterwards.
+func (k *Kernel) RunUntilBefore(t Time) {
+	for {
+		w, ok := k.nextWhen()
+		if !ok || w >= t {
+			return
+		}
+		k.Step()
+	}
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// pingDomains wires a ring of domains that bounce timestamped messages with
+// latency >= lookahead and record every delivery as (domain, time, tag).
+// Running it at several shard counts must produce identical logs.
+func runPingRing(domains, shards int, rounds int) []string {
+	const hop = 2 * time.Millisecond // inter-domain latency == lookahead
+	g := NewShardGroup(domains, shards, 42, hop)
+	// One log per domain: window workers run concurrently, so each domain
+	// appends only to its own slice; the merged view concatenates in
+	// domain order (the same order-insensitive reduction the replay layer
+	// uses for its per-region series).
+	logs := make([][]string, domains)
+	var bounce func(d, hops int)
+	bounce = func(d, hops int) {
+		logs[d] = append(logs[d], fmt.Sprintf("d%d@%v#%d", d, g.Kernel(d).Now(), hops))
+		if hops >= rounds {
+			return
+		}
+		next := (d + 1) % domains
+		at := g.Kernel(d).Now() + hop
+		g.Send(d, next, at, func() { bounce(next, hops+1) })
+	}
+	for d := 0; d < domains; d++ {
+		d := d
+		// Staggered starts exercise the within-window execution path.
+		g.Kernel(d).At(Time(d)*time.Microsecond, func() { bounce(d, 0) })
+	}
+	g.Run()
+	var merged []string
+	for _, l := range logs {
+		merged = append(merged, l...)
+	}
+	return merged
+}
+
+func TestShardGroupParityAcrossShardCounts(t *testing.T) {
+	want := runPingRing(9, 1, 12)
+	for _, shards := range []int{2, 3, 4, 8, 9} {
+		got := runPingRing(9, shards, 12)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d deliveries, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d diverged at %d: %q vs %q", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardGroupRunUntil(t *testing.T) {
+	g := NewShardGroup(4, 2, 1, time.Millisecond)
+	firedBy := make([]int, 4) // per-domain: window workers run concurrently
+	for d := 0; d < 4; d++ {
+		d := d
+		g.Kernel(d).At(Time(d+1)*10*time.Millisecond, func() { firedBy[d]++ })
+	}
+	total := func() int {
+		n := 0
+		for _, c := range firedBy {
+			n += c
+		}
+		return n
+	}
+	g.RunUntil(25 * time.Millisecond)
+	if total() != 2 {
+		t.Fatalf("fired = %d, want 2 (events at 10ms and 20ms)", total())
+	}
+	for d := 0; d < 4; d++ {
+		if g.Kernel(d).Now() != 25*time.Millisecond {
+			t.Fatalf("domain %d clock = %v, want 25ms", d, g.Kernel(d).Now())
+		}
+	}
+	g.Run()
+	if total() != 4 {
+		t.Fatalf("fired = %d after Run, want 4", total())
+	}
+}
+
+// A message timed below the window horizon means a link undercut the
+// declared lookahead; the group must panic loudly instead of diverging.
+func TestShardGroupLookaheadViolationPanics(t *testing.T) {
+	g := NewShardGroup(2, 2, 1, 10*time.Millisecond)
+	g.Kernel(0).At(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send below the horizon must panic")
+			}
+		}()
+		g.Send(0, 1, g.Kernel(0).Now()+time.Millisecond, func() {})
+	})
+	g.Run()
+}
+
+func TestShardGroupShardClamping(t *testing.T) {
+	g := NewShardGroup(3, 8, 1, time.Millisecond)
+	if g.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3 (clamped to domain count)", g.Shards())
+	}
+	if g.Domains() != 3 {
+		t.Fatalf("Domains() = %d, want 3", g.Domains())
+	}
+	if g.Kernel(0) == g.Kernel(1) || g.Kernel(1) == g.Kernel(2) {
+		t.Fatal("domains must map to distinct kernels when shards == domains")
+	}
+}
+
+// Same-timestamp cross-domain messages from different sources must deliver
+// in (time, src, per-src seq) order regardless of partitioning.
+func TestShardGroupMessageTieOrder(t *testing.T) {
+	run := func(shards int) []string {
+		const hop = time.Millisecond
+		g := NewShardGroup(4, shards, 7, hop)
+		var got []string
+		at := 5 * time.Millisecond
+		for _, src := range []int{2, 0, 1} {
+			src := src
+			g.Kernel(src).At(time.Millisecond, func() {
+				// Two messages per source, same destination and delivery
+				// time: per-source seq breaks the tie.
+				g.Send(src, 3, at, func() { got = append(got, fmt.Sprintf("s%d.0", src)) })
+				g.Send(src, 3, at, func() { got = append(got, fmt.Sprintf("s%d.1", src)) })
+			})
+		}
+		g.Run()
+		return got
+	}
+	want := []string{"s0.0", "s0.1", "s1.0", "s1.1", "s2.0", "s2.1"}
+	for _, shards := range []int{1, 2, 4} {
+		got := run(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: got %v, want %v", shards, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: got %v, want %v", shards, got, want)
+			}
+		}
+	}
+}

@@ -76,6 +76,9 @@ func (h *Host) Network() *Network { return h.net }
 // Network.Connect: the port returned for this host becomes its uplink.
 func (h *Host) SetUplink(p *Port) { h.uplink = p }
 
+// Uplink returns the host's default output port.
+func (h *Host) Uplink() *Port { return h.uplink }
+
 // AttachTo connects the host to node sw (typically a switch) over a link
 // with the given config and wires the uplink.
 func (h *Host) AttachTo(sw Node, cfg LinkConfig) (hostPort, swPort *Port) {

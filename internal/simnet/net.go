@@ -198,7 +198,10 @@ type LinkConfig struct {
 	Latency   time.Duration // one-way propagation delay
 	Bandwidth BitsPerSec    // per-direction capacity; 0 = infinite
 	// Loss is the probability in [0,1) that a packet is dropped on this
-	// link (drawn from the kernel's deterministic RNG).
+	// link. Draws come from a per-link-direction counter-keyed hash (not
+	// the kernel RNG), so a link's drop pattern depends only on its name
+	// and its own packet sequence — never on event interleaving elsewhere,
+	// which keeps sharded runs bit-identical to serial ones.
 	Loss float64
 }
 
@@ -250,6 +253,11 @@ type Link struct {
 	extraLatency time.Duration
 	// Dropped counts packets lost to failures or configured loss.
 	Dropped uint64
+	// remote, when non-nil, marks this link as the local half of a
+	// cross-shard link (see Fabric): serialization and loss happen here,
+	// but instead of local delivery the packet ships to another domain's
+	// network as a timestamped inter-shard message.
+	remote *remoteHalf
 }
 
 // Impair adds loss probability and one-way latency to the link on top of
@@ -277,8 +285,8 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 // (the first attached to a, the second to b).
 func (n *Network) Connect(a, b Node, cfg LinkConfig) (*Port, *Port) {
 	l := &Link{net: n, cfg: cfg}
-	l.ab = direction{link: l}
-	l.ba = direction{link: l}
+	l.ab = direction{link: l, lossSeed: splitmix64(fnv64(cfg.Name) ^ 1)}
+	l.ba = direction{link: l, lossSeed: splitmix64(fnv64(cfg.Name) ^ 2)}
 	pa := &Port{node: a, link: l, dir: &l.ab}
 	pb := &Port{node: b, link: l, dir: &l.ba}
 	pa.peer, pb.peer = pb, pa
@@ -366,6 +374,41 @@ func (n *Network) getTransfer(d *direction) *transfer {
 type direction struct {
 	link   *Link
 	active []*transfer
+	// lossSeed/lossN drive the deterministic per-direction loss draws: the
+	// n-th packet entering this direction sees splitmix64(seed, n), which
+	// is independent of every other link and of event interleaving.
+	lossSeed uint64
+	lossN    uint64
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap
+// high-quality bijective mixer (same construction the fault plan uses for
+// interleaving-independent decisions).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// fnv64 hashes a string with FNV-1a (seed material for loss draws).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// lossDraw returns the next uniform [0,1) variate of this direction's
+// deterministic drop sequence.
+func (d *direction) lossDraw() float64 {
+	d.lossN++
+	return float64(splitmix64(d.lossSeed+d.lossN)>>11) / float64(1<<53)
 }
 
 func (d *direction) capacityBps() float64 {
@@ -375,21 +418,30 @@ func (d *direction) capacityBps() float64 {
 func (d *direction) transmit(pkt *Packet, deliver func(*Packet)) {
 	k := d.link.net.K
 	loss := d.link.cfg.Loss + d.link.extraLoss
-	if d.link.down || (loss > 0 && k.Rand().Float64() < loss) {
+	if d.link.down || (loss > 0 && d.lossDraw() < loss) {
 		d.link.Dropped++
 		d.link.net.cDrops.Inc()
 		return // dropped packets are not recycled (see package comment)
 	}
 	lat := d.link.latency()
-	t := d.link.net.getTransfer(d)
-	t.pkt = pkt
-	t.deliver = deliver
 	if d.link.cfg.Bandwidth <= 0 {
+		if d.link.remote != nil {
+			// Infinite bandwidth on a cross-shard link: ship immediately
+			// with the propagation delay as the delivery offset.
+			d.link.shipRemote(pkt, k.Now()+lat)
+			return
+		}
 		// Infinite bandwidth: propagation only.
+		t := d.link.net.getTransfer(d)
+		t.pkt = pkt
+		t.deliver = deliver
 		t.delivering = true
 		k.Schedule(t.finish, k.Now()+lat)
 		return
 	}
+	t := d.link.net.getTransfer(d)
+	t.pkt = pkt
+	t.deliver = deliver
 	t.remaining = float64(pkt.Size)
 	t.updated = k.Now()
 	t.delivering = false
@@ -435,9 +487,21 @@ func (d *direction) complete(t *transfer) {
 		}
 	}
 	d.rebalance()
+	k := d.link.net.K
+	if d.link.remote != nil {
+		// Cross-shard link: serialization is done; the propagation stage
+		// happens as an inter-shard message on the destination kernel
+		// (the sender may not schedule into the receiver's window).
+		pkt := t.pkt
+		t.pkt = nil
+		t.deliver = nil
+		t.dir = nil
+		d.link.net.xferPool = append(d.link.net.xferPool, t)
+		d.link.shipRemote(pkt, k.Now()+d.link.latency())
+		return
+	}
 	// Enter the latency stage on the same persistent event.
 	t.delivering = true
-	k := d.link.net.K
 	k.Schedule(t.finish, k.Now()+d.link.latency())
 }
 
