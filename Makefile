@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard bench bench-10m fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard race-steer bench bench-10m fuzz experiments examples clean
 
 all: check
 
@@ -10,9 +10,10 @@ all: check
 # race detector (everywhere, plus focused passes over the sweep engine's
 # worker-pool code, the sim kernel it drives, the fault-injection
 # sweep with its serial-vs-parallel fingerprint parity check, the
-# observability layer's zero-overhead/determinism invariants, and the
-# sharded kernel's cross-shard fingerprint parity).
-check: fmt build vet test race race-hot race-faults race-obs race-shard
+# observability layer's zero-overhead/determinism invariants, the
+# sharded kernel's cross-shard fingerprint parity, and the steering
+# backends' cross-backend parity and table-pressure accounting).
+check: fmt build vet test race race-hot race-faults race-obs race-shard race-steer
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -53,6 +54,15 @@ race-shard:
 	$(GO) test -race -count 1 -run 'TestShardGroup|TestFabric' ./internal/sim ./internal/simnet
 	$(GO) test -race -count 1 -run 'TestReplayShard' ./internal/experiments
 
+# Steering-backend gate under the race detector: openflow-vs-srsteer
+# decision/outcome parity on the fig. 9 trace, the sweep's O(1)-vs-O(n)
+# table-pressure shape with its per-backend fingerprint gates, the switch's
+# pressure accounting, and the stateless encap path's zero-alloc pin.
+race-steer:
+	$(GO) test -race -count 1 -run 'TestSteer' ./internal/experiments
+	$(GO) test -race -count 1 -run 'TestTablePressure' ./internal/openflow
+	$(GO) test -race -count 1 ./internal/srsteer
+
 # Regenerate every table and figure of the paper (plus ablations) and the
 # scale benchmarks, recording machine-readable results. The replay-engine
 # sweep (10k/100k/1M requests) lands in BENCH_replay.json; the parallel
@@ -62,6 +72,7 @@ bench:
 	$(GO) test -json -bench 'BenchmarkReplayScale|BenchmarkReplayShard$$' -benchmem -benchtime 1x -run '^$$' . > BENCH_replay.json
 	$(GO) test -json -bench 'BenchmarkSweep' -benchmem -benchtime 1x -run '^$$' . > BENCH_sweep.json
 	$(GO) test -json -bench 'BenchmarkObsOverhead' -benchmem -benchtime 1x -run '^$$' . > BENCH_obs.json
+	$(GO) test -json -bench 'BenchmarkSteerBackends' -benchmem -benchtime 1x -run '^$$' . > BENCH_steer.json
 	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
 	$(GO) run ./cmd/edgesim -json scale-faults > BENCH_faults.json
 

@@ -405,6 +405,42 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// benchSteerBackends replays the fig. 9-style trace under one steering
+// backend per sub-benchmark and reports the backend's control-plane cost
+// next to the engine metrics: flow-mod messages (total and per 1k
+// requests — zero for the stateless backend) and the backend's
+// table-entry high-water (what openflow mirrors into the switch table).
+func benchSteerBackends(b *testing.B, requests int) {
+	for _, backend := range []string{"openflow", "srv6"} {
+		b.Run(backend, func(b *testing.B) {
+			b.ReportAllocs()
+			var res edge.ReplayScaleResult
+			var ctrs map[string]float64
+			for i := 0; i < b.N; i++ {
+				reg := edge.NewCounterRegistry()
+				res = edge.RunReplayScale(benchSeed, requests, true,
+					edge.WithSteerBackend(backend), edge.WithCounters(reg))
+				if res.Errors != 0 {
+					b.Fatalf("replay errors = %d", res.Errors)
+				}
+				ctrs = reg.Map()
+			}
+			b.ReportMetric(ctrs["steer_flow_mods_total"], "flowmods")
+			b.ReportMetric(ctrs["steer_flow_mods_total"]*1000/float64(requests), "flowmods/kreq")
+			b.ReportMetric(ctrs["steer_entries_max"], "entries_peak")
+			b.ReportMetric(ms(res.Median), "median_ms")
+			b.ReportMetric(res.AllocsPerRequest, "allocs/request")
+		})
+	}
+}
+
+// BenchmarkSteerBackends compares the per-flow rule installer against the
+// stateless SRv6-style ingress encoding at 100k and 1M requests (`make
+// bench` records both in BENCH_steer.json): request outcomes must match
+// while the stateless backend sends zero flow-mods.
+func BenchmarkSteerBackends_100k(b *testing.B) { benchSteerBackends(b, 100_000) }
+func BenchmarkSteerBackends_1M(b *testing.B)   { benchSteerBackends(b, 1_000_000) }
+
 // BenchmarkDispatch_StateQueries measures the dispatcher's packet-in
 // latency as the cluster count grows, for both state-gathering modes: the
 // parallel default stays ~flat (charged latency = max over clusters) while

@@ -30,7 +30,8 @@ var (
 	clients  = flag.Int("clients", 2000, "one-shot client count for scale-churn")
 	serial   = flag.Bool("serial", false, "scale-dispatch: serial per-cluster state queries (the paper's original dispatcher)")
 
-	replayRequests = flag.Int("replay-requests", 10000, "trace length for scale-replay and scale-shard")
+	replayRequests = flag.Int("replay-requests", 10000, "trace length for scale-replay, scale-shard and scale-steer")
+	steerBackend   = flag.String("backend", "both", "scale-steer: steering backend to sweep (openflow, srv6, both)")
 	goroutines     = flag.Bool("goroutines", false, "scale-replay: legacy goroutine-per-request arrivals instead of event-driven")
 	shards         = flag.Int("shards", 1, "scale-shard: kernel count for the sharded multi-region replay (1 = serial)")
 
@@ -122,6 +123,21 @@ func validateShards(n int) error {
 	return nil
 }
 
+// parseBackends maps the -backend flag to the steering backends scale-steer
+// sweeps: a single backend, or both for the side-by-side comparison.
+func parseBackends(s string) ([]string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "both", "all":
+		return nil, nil // all built-in backends
+	case "openflow":
+		return []string{"openflow"}, nil
+	case "srv6", "srsteer":
+		return []string{"srv6"}, nil
+	default:
+		return nil, fmt.Errorf("unknown steering backend %q (want openflow, srv6, or both)", s)
+	}
+}
+
 // parseRates parses the -fault-rates flag.
 func parseRates(s string) ([]float64, error) {
 	var rates []float64
@@ -200,6 +216,9 @@ Experiments (each reproduces one table/figure of the paper):
   scale-replay      large-trace replay cost (-replay-requests, -goroutines)
   scale-shard       sharded multi-region replay (-replay-requests, -shards;
                     fingerprints are bit-identical at every shard count)
+  scale-steer       steering backend comparison: per-flow openflow rules vs
+                    stateless SRv6-style ingress encoding over a client-count
+                    axis (-replay-requests, -backend, -json)
   sweep             parallel with/without-waiting sweep across seeds
                     (-sweep-seeds, -sweep-requests, -procs, -json)
   scale-faults      deterministic fault-injection sweep: retries, next-best
@@ -220,7 +239,7 @@ func run(which string) error {
 		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
 			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
-			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard"} {
+			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard", "scale-steer"} {
 			if err := run(w); err != nil {
 				return fmt.Errorf("%s: %w", w, err)
 			}
@@ -387,6 +406,20 @@ func run(which string) error {
 			return emitJSON(out)
 		}
 		fmt.Print(edge.RunReplayShard(*seed, *replayRequests, *shards, nil, o.options()...).String())
+	case "scale-steer":
+		backends, err := parseBackends(*steerBackend)
+		if err != nil {
+			return err
+		}
+		limitProcs()
+		if *asJSON {
+			out := edge.RunSteerSweep(*seed, *replayRequests, backends, o.options()...).JSON()
+			if err := o.finish(false); err != nil {
+				return err
+			}
+			return emitJSON(out)
+		}
+		fmt.Print(edge.RunSteerSweep(*seed, *replayRequests, backends, o.options()...).String())
 	case "sweep":
 		vs := edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs)
 		attachVariantObs(vs, o)

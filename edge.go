@@ -235,6 +235,10 @@ func WithTrace(tr *Tracer) ExperimentOption { return experiments.WithTrace(tr) }
 // WithCounters wires a counter registry into an experiment runner's testbed.
 func WithCounters(reg *CounterRegistry) ExperimentOption { return experiments.WithCounters(reg) }
 
+// WithSteerBackend selects the steering backend ("openflow", "srv6") for an
+// experiment runner's testbeds; "" keeps the default per-flow rule installer.
+func WithSteerBackend(name string) ExperimentOption { return experiments.WithSteerBackend(name) }
+
 // Experiment runners — one per table/figure of the paper's evaluation.
 
 // RunTableI reproduces Table I from the catalog.
@@ -320,6 +324,11 @@ type (
 	ReplayScaleResult = experiments.ReplayScaleResult
 	// ReplayShardResult summarizes one sharded multi-region replay.
 	ReplayShardResult = experiments.ReplayShardResult
+	// SteerSweepResult compares the steering backends (table pressure,
+	// latency, determinism gates) across the client-count axis.
+	SteerSweepResult = experiments.SteerSweepResult
+	// SteerPoint is one (backend, client count) sweep measurement.
+	SteerPoint = experiments.SteerPoint
 )
 
 // RunDispatchScale measures the packet-in dispatch latency over the given
@@ -350,6 +359,15 @@ func RunReplayScale(seed int64, requests int, eventDriven bool, options ...Exper
 // spec, when non-nil, injects a deterministic fault plan into every region.
 func RunReplayShard(seed int64, requests, shards int, spec *FaultSpec, options ...ExperimentOption) experiments.ReplayShardResult {
 	return experiments.ReplayShard(seed, requests, shards, spec, options...)
+}
+
+// RunSteerSweep compares the steering backends (per-flow openflow rules vs.
+// the stateless SRv6-style ingress encoding) on the fig. 9-style replay
+// across a client-count axis, and runs each backend through the sharded and
+// traced fingerprint parity gates. backends nil/empty compares all built-in
+// backends.
+func RunSteerSweep(seed int64, requests int, backends []string, options ...ExperimentOption) experiments.SteerSweepResult {
+	return experiments.SteerSweepBackends(seed, requests, backends, options...)
 }
 
 // Sweep engine types: many independent scenario variants, each on a private

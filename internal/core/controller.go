@@ -12,6 +12,7 @@ import (
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
+	"transparentedge/internal/steer"
 )
 
 // DistanceFunc ranks a cluster's proximity to a client (lower = closer).
@@ -105,6 +106,12 @@ type Config struct {
 	// retries and failures by phase and cluster) in the registry. Nil
 	// disables all counting at zero cost.
 	Counters *obs.Registry
+	// Steering selects how dispatch decisions reach the data plane: nil
+	// picks the paper's per-flow rule installs (steer.NewOpenFlow); the
+	// stateless SRv6-style alternative is srsteer.New (DESIGN.md §14). The
+	// controller Binds the backend at construction — supply a fresh value
+	// per controller.
+	Steering steer.Steering
 }
 
 // DefaultProbeMaxWait is the default overall readiness-probing bound —
@@ -142,11 +149,6 @@ type addrPort struct {
 type clusterEntry struct {
 	c    cluster.Cluster
 	kind string
-}
-
-type switchFlowKey struct {
-	sw *openflow.Switch
-	fk FlowKey
 }
 
 // Stats are controller-level counters.
@@ -211,10 +213,12 @@ type Controller struct {
 	records      []DeployRecord
 	recHead      int // ring start once records is at MaxDeployRecords
 	clientLoc    map[simnet.Addr]ClientLocation
-	cookies      map[switchFlowKey]uint64
-	cookieSeq    uint64
-	predictor    Predictor
-	Stats        Stats
+	// steerB is the pluggable data-plane mechanism (DESIGN.md §14): the
+	// per-flow rule installer by default, or the stateless SRv6-style
+	// backend. All install/uninstall/GC flows through it.
+	steerB    steer.Steering
+	predictor Predictor
+	Stats     Stats
 	// events is the resolved structured-event sink (nil = silent); tr and
 	// reg are the optional tracing and counter sinks from Config.
 	events func(obs.Event)
@@ -273,7 +277,6 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 		byName:     make(map[string]*spec.Annotated),
 		regByName:  make(map[string]spec.Registration),
 		clientLoc:  make(map[simnet.Addr]ClientLocation),
-		cookies:    make(map[switchFlowKey]uint64),
 	}
 	if c.cfg.RuntimeClassKinds == nil {
 		c.cfg.RuntimeClassKinds = map[string][]string{
@@ -293,6 +296,24 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 	c.Memory.OnIdleInstance = c.onIdleInstance
 	c.Memory.OnIdleClient = c.onIdleClient
 	c.deploy = newDeployer(c)
+	c.steerB = cfg.Steering
+	if c.steerB == nil {
+		c.steerB = steer.NewOpenFlow()
+	}
+	c.steerB.Bind(steer.Params{
+		Kernel:       k,
+		FlowPriority: c.cfg.FlowPriority,
+		IdleTimeout:  c.cfg.SwitchIdleTimeout,
+		// Stateless backends have no flow-removed notification; their
+		// idle-expired bindings GC the client-location record the same way
+		// HandleFlowRemoved does for rule-based backends.
+		OnExpired: func(f steer.Flow) {
+			if c.Memory.ClientFlows(f.Client) == 0 {
+				delete(c.clientLoc, f.Client)
+			}
+		},
+		Counters: cfg.Counters,
+	})
 	// Resolve the observability sinks once. Each handle no-ops on nil, so
 	// instrumented sites pay a single inlined nil check when obs is off.
 	c.tr = cfg.Trace
@@ -337,6 +358,7 @@ func (c *Controller) emit(e obs.Event) {
 func (c *Controller) AddSwitch(sw *openflow.Switch) {
 	c.switches = append(c.switches, sw)
 	sw.SetController(c)
+	c.steerB.AttachSwitch(sw)
 	for ap := range c.services {
 		c.installPunt(sw, ap)
 	}
@@ -423,6 +445,9 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 	pkt := ev.Packet
 	c.Stats.PacketIns++
 	c.ctr.packetIns.Inc()
+	// The previous location is captured before the update: a memory hit at
+	// a different switch is a handover and re-anchors the steering state.
+	prev, hadPrev := c.clientLoc[pkt.SrcIP]
 	c.clientLoc[pkt.SrcIP] = ClientLocation{Switch: ev.Switch, InPort: ev.InPort, SeenAt: c.k.Now()}
 	svc, ok := c.services[addrPort{pkt.DstIP, pkt.DstPort}]
 	if !ok {
@@ -435,10 +460,16 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 	}
 	fk := FlowKey{Client: pkt.SrcIP, VIP: pkt.DstIP, Port: pkt.DstPort}
 	if inst, ok := c.Memory.Get(fk); ok && c.instanceAlive(inst) {
-		// Memorized flow: reinstall switch rules without scheduling (§V).
+		// Memorized flow: reinstall steering without scheduling (§V). A hit
+		// from a new attachment point is a handover — the steering state is
+		// re-anchored there and the stale switch's state released eagerly.
 		c.Stats.MemoryServed++
 		c.ctr.memoryServed.Inc()
-		c.installRedirect(ev.Switch, fk, inst)
+		if hadPrev && prev.Switch != ev.Switch {
+			c.steerB.ReAnchor(prev.Switch, ev.Switch, steer.Flow(fk), steer.Endpoint{Addr: inst.Addr, Port: inst.Port})
+		} else {
+			c.installRedirect(ev.Switch, fk, inst)
+		}
 		ev.Switch.TableOut(pkt)
 		if tr := c.tr; tr != nil {
 			now := time.Duration(c.k.Now())
@@ -468,14 +499,14 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 // the FlowMemory) are evicted here too.
 func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, rule *openflow.FlowRule) {
 	// Only the forward rule of a pair notifies; its match carries the
-	// original flow key (client -> VIP:port).
-	fk := FlowKey{Client: rule.Match.SrcIP, VIP: rule.Match.DstIP, Port: rule.Match.DstPort}
-	key := switchFlowKey{sw, fk}
-	if cookie, ok := c.cookies[key]; ok && cookie == rule.Cookie {
-		delete(c.cookies, key)
+	// original flow key (client -> VIP:port). The backend releases its own
+	// bookkeeping and reports which flow expired.
+	f, ok := c.steerB.FlowRemoved(sw, rule)
+	if !ok {
+		return
 	}
-	if c.Memory.ClientFlows(fk.Client) == 0 {
-		delete(c.clientLoc, fk.Client)
+	if c.Memory.ClientFlows(f.Client) == 0 {
+		delete(c.clientLoc, f.Client)
 	}
 }
 
@@ -745,69 +776,17 @@ func (c *Controller) fallbackDeploy(p *sim.Proc, st State, svc *spec.Annotated, 
 	return cluster.Instance{}, nil, false, lastErr
 }
 
-// installRedirect installs the forward and reverse rewrite rules for one
-// client/service pair (fig. 2), replacing any previous pair for the key.
-// The forward rule requests a flow-removed notification so the cookie and
-// client-location bookkeeping is garbage-collected on idle expiry.
+// installRedirect steers one client/service pair to an instance through the
+// configured backend (per-flow rewrite rules for openflow, an ingress
+// encapsulation binding for srsteer), replacing any previous decision.
 func (c *Controller) installRedirect(sw *openflow.Switch, fk FlowKey, inst cluster.Instance) {
-	key := switchFlowKey{sw, fk}
-	if old, ok := c.cookies[key]; ok {
-		sw.DeleteFlows(old)
-	}
-	cookie := c.nextCookie()
-	c.cookies[key] = cookie
-	sw.AddFlow(openflow.FlowRule{
-		Priority: c.cfg.FlowPriority,
-		Cookie:   cookie,
-		Match:    openflow.Match{SrcIP: fk.Client, DstIP: fk.VIP, DstPort: fk.Port},
-		Actions: openflow.Actions{
-			SetDstIP:   inst.Addr,
-			SetDstPort: inst.Port,
-			Output:     openflow.OutputNormal,
-		},
-		IdleTimeout:   c.cfg.SwitchIdleTimeout,
-		NotifyRemoved: true,
-	})
-	sw.AddFlow(openflow.FlowRule{
-		Priority: c.cfg.FlowPriority,
-		Cookie:   cookie,
-		Match:    openflow.Match{SrcIP: inst.Addr, SrcPort: inst.Port, DstIP: fk.Client},
-		Actions: openflow.Actions{
-			SetSrcIP:   fk.VIP,
-			SetSrcPort: fk.Port,
-			Output:     openflow.OutputNormal,
-		},
-		IdleTimeout: c.cfg.SwitchIdleTimeout,
-	})
+	c.steerB.InstallRedirect(sw, steer.Flow(fk), steer.Endpoint{Addr: inst.Addr, Port: inst.Port})
 }
 
-// installCloudForward installs a pass-through flow so the conversation
-// continues to the real cloud without further packet-ins.
+// installCloudForward makes the flow bypass further packet-ins and continue
+// toward the real cloud unmodified.
 func (c *Controller) installCloudForward(sw *openflow.Switch, fk FlowKey) {
-	key := switchFlowKey{sw, fk}
-	if old, ok := c.cookies[key]; ok {
-		sw.DeleteFlows(old)
-	}
-	cookie := c.nextCookie()
-	c.cookies[key] = cookie
-	sw.AddFlow(openflow.FlowRule{
-		Priority:      c.cfg.FlowPriority,
-		Cookie:        cookie,
-		Match:         openflow.Match{SrcIP: fk.Client, DstIP: fk.VIP, DstPort: fk.Port},
-		Actions:       openflow.Actions{Output: openflow.OutputNormal},
-		IdleTimeout:   c.cfg.SwitchIdleTimeout,
-		NotifyRemoved: true,
-	})
-}
-
-// controllerCookieBase keeps controller-assigned flow cookies disjoint from
-// the switch's auto-assigned cookie space, so deleting a client's redirect
-// pair can never remove a punt rule.
-const controllerCookieBase uint64 = 1 << 32
-
-func (c *Controller) nextCookie() uint64 {
-	c.cookieSeq++
-	return controllerCookieBase + c.cookieSeq
+	c.steerB.InstallCloudForward(sw, steer.Flow(fk))
 }
 
 // InstancePicker selects one of several ready instances of a service for a
@@ -1006,10 +985,17 @@ func (c *Controller) ResetRecords() {
 	c.recHead = 0
 }
 
-// CookieCount returns how many switch-flow cookies the controller tracks
-// (one per installed redirect / cloud-forward pair). Bounded: entries are
-// released when the forward rule idle-expires or is replaced.
-func (c *Controller) CookieCount() int { return len(c.cookies) }
+// CookieCount returns how many per-flow steering decisions the backend
+// tracks (openflow: installed redirect / cloud-forward pairs; srsteer:
+// controller-side bindings). Bounded: entries are released on idle expiry
+// or replacement.
+func (c *Controller) CookieCount() int { return c.steerB.Entries() }
+
+// SteerStats snapshots the steering backend's data-plane footprint.
+func (c *Controller) SteerStats() steer.TableStats { return c.steerB.Stats() }
+
+// SteerName identifies the configured steering backend.
+func (c *Controller) SteerName() string { return c.steerB.Name() }
 
 // TrackedClients returns how many client location records the dispatcher
 // holds. Bounded: a record is evicted when the client's last memorized

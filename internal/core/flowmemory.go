@@ -63,6 +63,9 @@ type FlowMemory struct {
 	Hits, Misses uint64
 	// Obs counter handles (nil without SetObs — *obs.Counter no-ops on nil).
 	cHits, cMisses, cEvictions, cDrains, cDrainInterrupts *obs.Counter
+	// gEntries tracks the live entry count (its high-water mark is the
+	// memory-occupancy figure the steering sweep reports).
+	gEntries *obs.Gauge
 }
 
 // SetObs registers the memory's counters in the registry. A nil registry
@@ -76,6 +79,7 @@ func (m *FlowMemory) SetObs(reg *obs.Registry) {
 	m.cEvictions = reg.Counter("flowmemory_evictions_total")
 	m.cDrains = reg.Counter("flowmemory_drains_total")
 	m.cDrainInterrupts = reg.Counter("flowmemory_drain_interruptions_total")
+	m.gEntries = reg.Gauge("flowmemory_entries")
 }
 
 // NewFlowMemory creates a FlowMemory with the given idle timeout.
@@ -182,6 +186,7 @@ func (m *FlowMemory) Put(key FlowKey, inst cluster.Instance) {
 	m.perInst[ik]++
 	m.noteAttach(ik)
 	m.perClient[key.Client]++
+	m.gEntries.Set(int64(len(m.entries)))
 	m.scheduleExpiry(e)
 }
 
@@ -233,6 +238,7 @@ func (m *FlowMemory) scheduleExpiry(e *MemEntry) {
 func (m *FlowMemory) remove(e *MemEntry) {
 	m.cEvictions.Inc()
 	delete(m.entries, e.Key)
+	m.gEntries.Set(int64(len(m.entries)))
 	m.detachService(e)
 	m.decInstance(e.Instance)
 	m.perClient[e.Key.Client]--

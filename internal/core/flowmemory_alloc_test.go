@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"transparentedge/internal/cluster"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+)
+
+// TestAllocsFlowMemoryAccessors pins the count accessors the steering
+// occupancy metrics poll per request — ServiceFlows, ClientFlows,
+// InstanceFlows — plus the Get/Put hit path at zero allocations: they must
+// be indexed O(1) reads, never scans over the entries.
+func TestAllocsFlowMemoryAccessors(t *testing.T) {
+	k := sim.New(1)
+	m := NewFlowMemory(k, time.Minute)
+	inst := cluster.Instance{Service: "svc-0", Cluster: "edge", Addr: "10.0.0.50", Port: 30000}
+	for i := 0; i < 200; i++ {
+		key := FlowKey{Client: simAddr(i), VIP: "203.0.113.10", Port: 80}
+		m.Put(key, inst)
+	}
+	probe := FlowKey{Client: simAddr(17), VIP: "203.0.113.10", Port: 80}
+
+	if n := testing.AllocsPerRun(200, func() {
+		if m.ServiceFlows("svc-0") == 0 || m.ClientFlows(probe.Client) == 0 || m.InstanceFlows(inst) == 0 {
+			t.Fatal("index lookup lost entries")
+		}
+	}); n != 0 {
+		t.Errorf("%.1f allocs per count-accessor round, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := m.Get(probe); !ok {
+			t.Fatal("hit path missed")
+		}
+	}); n != 0 {
+		t.Errorf("%.1f allocs per Get hit, want 0", n)
+	}
+	// Re-pointing an existing entry reuses it: no allocation either.
+	if n := testing.AllocsPerRun(200, func() { m.Put(probe, inst) }); n != 0 {
+		t.Errorf("%.1f allocs per re-point Put, want 0", n)
+	}
+}
+
+// simAddr fabricates a distinct client address per index (allocation happens
+// in setup, outside the pinned closures).
+func simAddr(i int) simnet.Addr {
+	return simnet.Addr(fmt.Sprintf("10.0.1.%d", i))
+}

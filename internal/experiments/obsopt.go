@@ -8,6 +8,7 @@ import "transparentedge/internal/obs"
 type runOpts struct {
 	trace    *obs.Tracer
 	counters *obs.Registry
+	steer    string
 }
 
 // Option configures an experiment runner. Runners take variadic Options so
@@ -26,6 +27,13 @@ func WithTrace(tr *obs.Tracer) Option {
 // into it and can be snapshotted mid-run. Nil is accepted and means "off".
 func WithCounters(reg *obs.Registry) Option {
 	return func(o *runOpts) { o.counters = reg }
+}
+
+// WithSteerBackend selects the steering backend by name ("openflow",
+// "srv6"; "" keeps the default rule installer) for the runner's testbeds —
+// the axis the SteerSweep experiment compares. See testbed.NewSteering.
+func WithSteerBackend(name string) Option {
+	return func(o *runOpts) { o.steer = name }
 }
 
 func applyOpts(options []Option) runOpts {

@@ -92,6 +92,7 @@ func ReplayScale(seed int64, requests int, eventDriven bool, options ...Option) 
 	tb := testbed.New(testbed.Options{
 		Seed: seed, EnableDocker: true,
 		Trace: o.trace, Counters: o.counters,
+		SteerBackend: o.steer,
 	})
 
 	var before, after runtime.MemStats

@@ -130,11 +130,12 @@ func ReplayShard(seed int64, requests, shards int, spec *faults.Spec, options ..
 	}
 	trace := workload.Generate(replayShardConfig(seed, requests))
 	rs := testbed.NewRegions(testbed.RegionOptions{
-		Seed:    seed,
-		Shards:  shards,
-		Traced:  o.trace != nil,
-		Counted: o.counters != nil,
-		Faults:  spec,
+		Seed:         seed,
+		Shards:       shards,
+		Traced:       o.trace != nil,
+		Counted:      o.counters != nil,
+		Faults:       spec,
+		SteerBackend: o.steer,
 	})
 
 	var before, after runtime.MemStats

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"transparentedge/internal/catalog"
+	"transparentedge/internal/obs"
+	"transparentedge/internal/testbed"
+	"transparentedge/internal/workload"
+)
+
+// SteerBackends are the backends the sweep compares, in report order.
+var SteerBackends = []string{"openflow", "srv6"}
+
+// steerSweepClients is the client-count axis: the quantity the per-flow
+// rule backend's table occupancy and flow-mod traffic grow with, and the
+// stateless backend's do not.
+var steerSweepClients = []int{20, 80, 320}
+
+// steerParityShards are the shard counts each backend's replay fingerprint
+// must reproduce bit-identically (serial == sharded, PR-6's gate, now per
+// backend).
+var steerParityShards = []int{2, 4, 8}
+
+// SteerPoint is one (backend, client count) measurement of the fig. 9-style
+// replay.
+type SteerPoint struct {
+	Backend string
+	Clients int
+	// RuleHighWater is the switch flow table's peak size (punt rules
+	// included): O(clients) for openflow, constant for srv6.
+	RuleHighWater int
+	// FlowMods counts the flow-mod messages the steering backend sent
+	// (installs + deletes; punt rules excluded). Zero for srv6.
+	FlowMods uint64
+	// EntriesHighWater is the peak count of per-flow steering decisions the
+	// backend tracked (cookie pairs / bindings) — both backends hold this
+	// controller-side state; only openflow mirrors it into the switch.
+	EntriesHighWater int
+	// Errors / Median / P95 / Deployments summarize the replay; dispatch
+	// latency must not regress under the stateless backend.
+	Errors      int
+	Median      time.Duration
+	P95         time.Duration
+	Deployments int
+	// Wall / AllocsPerRequest are the harness cost of the point.
+	Wall             time.Duration
+	AllocsPerRequest float64
+}
+
+// SteerParity reports one backend's determinism gates: the serial replay
+// fingerprint against its sharded and traced reruns.
+type SteerParity struct {
+	Backend     string
+	Serial      uint64
+	ShardMatch  bool // serial == every steerParityShards rerun
+	TracedMatch bool // untraced == traced rerun
+}
+
+// SteerSweepResult is the backend comparison: per-point table pressure and
+// latency plus the per-backend determinism gates.
+type SteerSweepResult struct {
+	Requests int
+	Points   []SteerPoint
+	Parity   []SteerParity
+}
+
+// String renders the comparison table.
+func (r SteerSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "steering backend sweep (%d requests)\n", r.Requests)
+	fmt.Fprintf(&b, "  %-9s %8s %10s %10s %10s %10s %10s %8s\n",
+		"backend", "clients", "rule-peak", "flow-mods", "entries", "median", "p95", "allocs")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-9s %8d %10d %10d %10d %10v %10v %8.1f\n",
+			p.Backend, p.Clients, p.RuleHighWater, p.FlowMods, p.EntriesHighWater,
+			p.Median.Round(time.Microsecond), p.P95.Round(time.Microsecond), p.AllocsPerRequest)
+	}
+	for _, pr := range r.Parity {
+		fmt.Fprintf(&b, "  parity[%s]: serial=%016x shards=%v traced=%v\n",
+			pr.Backend, pr.Serial, pr.ShardMatch, pr.TracedMatch)
+	}
+	return b.String()
+}
+
+// JSON returns the uniform result shape: one metric per point per quantity,
+// keyed backend_c<clients>_<metric>, plus the parity gates as 0/1.
+func (r SteerSweepResult) JSON() JSONResult {
+	m := map[string]float64{"requests": float64(r.Requests)}
+	for _, p := range r.Points {
+		k := fmt.Sprintf("%s_c%d_", p.Backend, p.Clients)
+		m[k+"rule_peak"] = float64(p.RuleHighWater)
+		m[k+"flow_mods"] = float64(p.FlowMods)
+		m[k+"entries_peak"] = float64(p.EntriesHighWater)
+		m[k+"errors"] = float64(p.Errors)
+		m[k+"median_ms"] = ms(p.Median)
+		m[k+"p95_ms"] = ms(p.P95)
+		m[k+"deployments"] = float64(p.Deployments)
+		m[k+"wall_ms"] = ms(p.Wall)
+		m[k+"allocs_per_req"] = p.AllocsPerRequest
+	}
+	for _, pr := range r.Parity {
+		v := 0.0
+		if pr.ShardMatch {
+			v = 1
+		}
+		m[pr.Backend+"_shard_parity"] = v
+		v = 0
+		if pr.TracedMatch {
+			v = 1
+		}
+		m[pr.Backend+"_traced_parity"] = v
+		// 52-bit digest, exact in a float64 (the JSON shape's number type).
+		m[pr.Backend+"_fingerprint"] = float64(pr.Serial >> 12)
+	}
+	return JSONResult{Experiment: "scale-steer", Metrics: m}
+}
+
+// runSteerPoint replays the fig. 9-style trace with the given client count
+// under one backend and samples the table-pressure quantities.
+func runSteerPoint(seed int64, requests, clients int, backend string) SteerPoint {
+	cfg := replayScaleConfig(seed, requests)
+	cfg.Clients = clients
+	trace := workload.Generate(cfg)
+	tb := testbed.New(testbed.Options{
+		Seed: seed, EnableDocker: true, NumClients: clients,
+		SteerBackend: backend,
+	})
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := workload.ReplayWith(tb, trace, catalog.Nginx, workload.Options{
+		PrePull: true, PreCreate: true,
+	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		panic(err)
+	}
+
+	st := tb.Ctrl.SteerStats()
+	return SteerPoint{
+		Backend:          backend,
+		Clients:          clients,
+		RuleHighWater:    tb.Switch.RuleHighWater,
+		FlowMods:         st.FlowMods,
+		EntriesHighWater: st.EntriesHighWater,
+		Errors:           res.Errors,
+		Median:           res.Totals.Median(),
+		P95:              res.Totals.Percentile(95),
+		Deployments:      res.FirstRequests.Len(),
+		Wall:             wall,
+		AllocsPerRequest: float64(after.Mallocs-before.Mallocs) / float64(len(trace.Requests)),
+	}
+}
+
+// SteerSweep compares the steering backends on the fig. 9-style replay
+// across the client-count axis, then runs each backend through the PR-6
+// sharded replay gates: the fingerprint must be bit-identical serial vs.
+// sharded and traced vs. untraced. The expected shape — asserted by
+// TestSteerSweepScaling — is rule-table occupancy and flow-mod count
+// O(clients) for openflow and O(1) for srv6, at equal request outcomes.
+func SteerSweep(seed int64, requests int, options ...Option) SteerSweepResult {
+	return SteerSweepBackends(seed, requests, nil, options...)
+}
+
+// SteerSweepBackends is SteerSweep restricted to the named backends (the
+// edgesim -backend flag); nil or empty compares all of SteerBackends.
+func SteerSweepBackends(seed int64, requests int, backends []string, options ...Option) SteerSweepResult {
+	_ = applyOpts(options) // reserved: the sweep owns its obs handles
+	if len(backends) == 0 {
+		backends = SteerBackends
+	}
+	if requests < 8*2 {
+		requests = 8 * 2
+	}
+	out := SteerSweepResult{Requests: requests}
+	for _, backend := range backends {
+		for _, clients := range steerSweepClients {
+			out.Points = append(out.Points, runSteerPoint(seed, requests, clients, backend))
+		}
+	}
+	for _, backend := range backends {
+		p := SteerParity{Backend: backend, ShardMatch: true}
+		serial := ReplayShard(seed, requests, 1, nil, WithSteerBackend(backend))
+		p.Serial = serial.Fingerprint()
+		for _, shards := range steerParityShards {
+			rerun := ReplayShard(seed, requests, shards, nil, WithSteerBackend(backend))
+			if rerun.Fingerprint() != p.Serial {
+				p.ShardMatch = false
+			}
+		}
+		traced := ReplayShard(seed, requests, 1, nil,
+			WithSteerBackend(backend), WithTrace(obs.NewTracer(0)), WithCounters(obs.NewRegistry()))
+		p.TracedMatch = traced.Fingerprint() == p.Serial
+		out.Parity = append(out.Parity, p)
+	}
+	return out
+}

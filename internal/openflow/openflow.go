@@ -223,6 +223,20 @@ type Switch struct {
 	nextCookie uint64
 	// PacketsIn counts packets punted to the controller (diagnostics).
 	PacketsIn uint64
+	// FlowMods counts flow-mod messages received from the controller (one
+	// per AddFlow, one per DeleteFlows call) — the control-channel traffic
+	// the stateless steering backend exists to eliminate.
+	FlowMods uint64
+	// RuleHighWater is the peak flow-table size ever observed — the
+	// table-pressure metric of the steering comparison. Updated on AddFlow,
+	// so it needs no sampler process.
+	RuleHighWater int
+	// ingressSteer, when set, runs before table lookup on every packet
+	// entering the pipeline (including TableOut re-injections). Returning
+	// true means the hook took ownership of the packet (rewrote and
+	// forwarded, or dropped it); false falls through to the flow table. A
+	// nil hook costs one predictable branch per packet.
+	ingressSteer func(sw *Switch, inPort int, pkt *simnet.Packet) bool
 	// FIFO of packets waiting out the FwdDelay pipeline stage. FwdDelay is
 	// constant, so pooled AfterFree events with a persistent drain thunk
 	// preserve arrival order without a per-packet closure.
@@ -258,6 +272,18 @@ func (s *Switch) Name() string { return s.name }
 
 // SetController wires the SDN controller.
 func (s *Switch) SetController(c Controller) { s.controller = c }
+
+// SetIngressSteer installs (or, with nil, removes) the ingress steering
+// hook: a per-packet function consulted before the flow table, used by the
+// stateless steering backend to apply controller-decided encapsulation
+// without any per-flow table entries. The hook runs in kernel context and
+// must not block or allocate on the steady-state path.
+func (s *Switch) SetIngressSteer(fn func(sw *Switch, inPort int, pkt *simnet.Packet) bool) {
+	s.ingressSteer = fn
+}
+
+// Network returns the network the switch is attached to.
+func (s *Switch) Network() *simnet.Network { return s.net }
 
 // AddPort registers a switch port under the given number.
 func (s *Switch) AddPort(num int, p *simnet.Port) {
@@ -296,11 +322,16 @@ func (s *Switch) Rules() []*FlowRule {
 	return append([]*FlowRule(nil), s.table...)
 }
 
+// RuleCount returns the current flow-table size without copying the table —
+// the occupancy signal the steering experiments sample per request.
+func (s *Switch) RuleCount() int { return len(s.table) }
+
 // AddFlow installs a rule (flow-mod ADD) and returns it. Rules are kept
 // sorted by descending priority; among equal priorities, earlier install
 // wins.
 func (s *Switch) AddFlow(rule FlowRule) *FlowRule {
 	r := rule
+	s.FlowMods++
 	s.nextCookie++
 	if r.Cookie == 0 {
 		r.Cookie = s.nextCookie
@@ -311,6 +342,9 @@ func (s *Switch) AddFlow(rule FlowRule) *FlowRule {
 	s.seq++
 	r.seq = s.seq
 	s.table = append(s.table, &r)
+	if len(s.table) > s.RuleHighWater {
+		s.RuleHighWater = len(s.table)
+	}
 	sort.SliceStable(s.table, func(i, j int) bool {
 		return s.table[i].Priority > s.table[j].Priority
 	})
@@ -414,6 +448,7 @@ func (s *Switch) lookup(pkt *simnet.Packet) *FlowRule {
 // DeleteFlows removes all rules with the given cookie (flow-mod DELETE)
 // and returns how many were removed. No flow-removed messages are sent.
 func (s *Switch) DeleteFlows(cookie uint64) int {
+	s.FlowMods++
 	n := 0
 	for _, r := range s.Rules() {
 		if r.Cookie == cookie {
@@ -447,6 +482,9 @@ func (s *Switch) drainOne() {
 }
 
 func (s *Switch) process(inPort int, pkt *simnet.Packet) {
+	if s.ingressSteer != nil && s.ingressSteer(s, inPort, pkt) {
+		return
+	}
 	if r := s.lookup(pkt); r != nil {
 		r.packets++
 		r.bytes += pkt.Size
@@ -486,6 +524,14 @@ func (s *Switch) output(a Actions, inPort int, pkt *simnet.Packet) {
 			p.Send(pkt)
 		}
 	}
+}
+
+// ForwardNormal sends a (possibly rewritten) packet out via the static L3
+// routes — the forwarding primitive the ingress steering hook uses after an
+// in-place encap/decap. It is the OutputNormal leg of the pipeline without a
+// table lookup and costs no allocation.
+func (s *Switch) ForwardNormal(pkt *simnet.Packet) {
+	s.output(Actions{Output: OutputNormal}, -1, pkt)
 }
 
 // PacketOut re-injects a packet from the controller into the switch

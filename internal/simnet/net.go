@@ -108,6 +108,16 @@ type Packet struct {
 	// out of order, but fair-shared links can complete a small later
 	// transfer before a large earlier one; the receiver re-sequences).
 	Seq uint64
+	// Encap marks an SRv6-style outer header applied in place at a steering
+	// ingress point: DstIP/DstPort carry the encoded segment endpoint (the
+	// instance) while InnerDstIP/InnerDstPort preserve the original service
+	// address. Only the packet's current owner may set or clear these (the
+	// same ownership rules as any header rewrite); FreePacket resets them
+	// with the rest of the struct, so recycled packets never leak an old
+	// encapsulation.
+	Encap        bool
+	InnerDstIP   Addr
+	InnerDstPort int
 }
 
 func (p *Packet) String() string {

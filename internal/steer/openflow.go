@@ -1,0 +1,176 @@
+package steer
+
+import (
+	"transparentedge/internal/obs"
+	"transparentedge/internal/openflow"
+)
+
+// controllerCookieBase keeps controller-assigned flow cookies disjoint from
+// the switch's auto-assigned cookie space, so deleting a client's redirect
+// pair can never remove a punt rule.
+const controllerCookieBase uint64 = 1 << 32
+
+// pairKey identifies one installed redirect/cloud-forward pair.
+type pairKey struct {
+	sw *openflow.Switch
+	f  Flow
+}
+
+// OpenFlow is the paper's steering mechanism: per-flow forward and reverse
+// rewrite rules installed on the switch (fig. 2), identified by a
+// controller-assigned cookie per client/service/switch triple. It is the
+// default backend and preserves the pre-interface controller behavior
+// bit-for-bit: same rule shapes, same install/delete order, same cookie
+// sequence.
+type OpenFlow struct {
+	p        Params
+	cookies  map[pairKey]uint64
+	seq      uint64
+	switches []*openflow.Switch
+	high     int
+	flowMods uint64
+
+	// Obs handles (nil without Params.Counters; nil handles no-op).
+	gEntries *obs.Gauge
+	cMods    *obs.Counter
+}
+
+// NewOpenFlow creates the rule-install backend. All wiring arrives later
+// via Bind.
+func NewOpenFlow() *OpenFlow {
+	return &OpenFlow{cookies: make(map[pairKey]uint64)}
+}
+
+// Name implements Steering.
+func (b *OpenFlow) Name() string { return "openflow" }
+
+// Bind implements Steering.
+func (b *OpenFlow) Bind(p Params) {
+	b.p = p
+	if reg := p.Counters; reg != nil {
+		b.gEntries = reg.Gauge("steer_entries")
+		b.cMods = reg.Counter("steer_flow_mods_total")
+	}
+}
+
+// AttachSwitch implements Steering: rule installs need no per-switch setup;
+// the switch list only feeds the Stats snapshot.
+func (b *OpenFlow) AttachSwitch(sw *openflow.Switch) {
+	b.switches = append(b.switches, sw)
+}
+
+func (b *OpenFlow) nextCookie() uint64 {
+	b.seq++
+	return controllerCookieBase + b.seq
+}
+
+// release deletes the pair previously installed for key, if any.
+func (b *OpenFlow) release(key pairKey) {
+	if old, ok := b.cookies[key]; ok {
+		key.sw.DeleteFlows(old)
+		delete(b.cookies, key)
+		b.flowMods++
+		b.cMods.Inc()
+	}
+}
+
+func (b *OpenFlow) track(key pairKey, cookie uint64, mods uint64) {
+	b.cookies[key] = cookie
+	if len(b.cookies) > b.high {
+		b.high = len(b.cookies)
+	}
+	b.flowMods += mods
+	b.cMods.Add(mods)
+	b.gEntries.Set(int64(len(b.cookies)))
+}
+
+// InstallRedirect implements Steering: the forward and reverse rewrite rules
+// for one client/service pair, replacing any previous pair for the key. The
+// forward rule requests a flow-removed notification so the cookie and
+// client-location bookkeeping is garbage-collected on idle expiry.
+func (b *OpenFlow) InstallRedirect(sw *openflow.Switch, f Flow, ep Endpoint) {
+	key := pairKey{sw, f}
+	b.release(key)
+	cookie := b.nextCookie()
+	sw.AddFlow(openflow.FlowRule{
+		Priority: b.p.FlowPriority,
+		Cookie:   cookie,
+		Match:    openflow.Match{SrcIP: f.Client, DstIP: f.VIP, DstPort: f.Port},
+		Actions: openflow.Actions{
+			SetDstIP:   ep.Addr,
+			SetDstPort: ep.Port,
+			Output:     openflow.OutputNormal,
+		},
+		IdleTimeout:   b.p.IdleTimeout,
+		NotifyRemoved: true,
+	})
+	sw.AddFlow(openflow.FlowRule{
+		Priority: b.p.FlowPriority,
+		Cookie:   cookie,
+		Match:    openflow.Match{SrcIP: ep.Addr, SrcPort: ep.Port, DstIP: f.Client},
+		Actions: openflow.Actions{
+			SetSrcIP:   f.VIP,
+			SetSrcPort: f.Port,
+			Output:     openflow.OutputNormal,
+		},
+		IdleTimeout: b.p.IdleTimeout,
+	})
+	b.track(key, cookie, 2)
+}
+
+// InstallCloudForward implements Steering: a pass-through flow so the
+// conversation continues to the real cloud without further packet-ins.
+func (b *OpenFlow) InstallCloudForward(sw *openflow.Switch, f Flow) {
+	key := pairKey{sw, f}
+	b.release(key)
+	cookie := b.nextCookie()
+	sw.AddFlow(openflow.FlowRule{
+		Priority:      b.p.FlowPriority,
+		Cookie:        cookie,
+		Match:         openflow.Match{SrcIP: f.Client, DstIP: f.VIP, DstPort: f.Port},
+		Actions:       openflow.Actions{Output: openflow.OutputNormal},
+		IdleTimeout:   b.p.IdleTimeout,
+		NotifyRemoved: true,
+	})
+	b.track(key, cookie, 1)
+}
+
+// ReAnchor implements Steering: handover. The old attachment point's pair is
+// deleted eagerly (it can never match again — the client's packets now enter
+// at newSw) and a fresh pair is installed where the client actually is.
+func (b *OpenFlow) ReAnchor(oldSw, newSw *openflow.Switch, f Flow, ep Endpoint) {
+	b.release(pairKey{oldSw, f})
+	b.gEntries.Set(int64(len(b.cookies)))
+	b.InstallRedirect(newSw, f, ep)
+}
+
+// FlowRemoved implements Steering: a forward rule idle-expired on sw; drop
+// the pair's cookie tracking (the reverse rule expires on its own).
+func (b *OpenFlow) FlowRemoved(sw *openflow.Switch, rule *openflow.FlowRule) (Flow, bool) {
+	f := Flow{Client: rule.Match.SrcIP, VIP: rule.Match.DstIP, Port: rule.Match.DstPort}
+	key := pairKey{sw, f}
+	if cookie, ok := b.cookies[key]; ok && cookie == rule.Cookie {
+		delete(b.cookies, key)
+		b.gEntries.Set(int64(len(b.cookies)))
+	}
+	return f, true
+}
+
+// Entries implements Steering.
+func (b *OpenFlow) Entries() int { return len(b.cookies) }
+
+// Stats implements Steering. SwitchRules is the summed live table size of
+// every attached switch (punt rules included — they are part of the
+// table-pressure the backend imposes).
+func (b *OpenFlow) Stats() TableStats {
+	rules := 0
+	for _, sw := range b.switches {
+		rules += sw.RuleCount()
+	}
+	return TableStats{
+		Entries:          len(b.cookies),
+		EntriesHighWater: b.high,
+		FlowMods:         b.flowMods,
+		SwitchRules:      rules,
+	}
+}

@@ -49,6 +49,9 @@ type RegionOptions struct {
 	// names, so sites fail independently but reproducibly) and impairs
 	// every network when link faults are configured.
 	Faults *faults.Spec
+	// SteerBackend selects each region's steering backend by name (see
+	// NewSteering); every region gets its own fresh backend instance.
+	SteerBackend string
 }
 
 // Region is one edge site: its own network, switch, EGS, controller,
@@ -173,6 +176,7 @@ func NewRegions(opts RegionOptions) *Regions {
 		ctrlCfg.Scheduler = core.WaitNearestScheduler{}
 		ctrlCfg.Trace = r.Trace
 		ctrlCfg.Counters = r.Counters
+		ctrlCfg.Steering = NewSteering(opts.SteerBackend)
 		r.Ctrl = core.New(k, r.EGS, ctrlCfg)
 		r.Ctrl.AddSwitch(r.Switch)
 

@@ -36,6 +36,8 @@ import (
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
+	"transparentedge/internal/srsteer"
+	"transparentedge/internal/steer"
 )
 
 // Cluster kind tags used with core.Controller.AddCluster.
@@ -111,6 +113,28 @@ type Options struct {
 	// Counters, when set, registers the controller's, network's, clusters'
 	// and fault plan's counters in the registry. Nil = off at zero cost.
 	Counters *obs.Registry
+	// SteerBackend selects the steering backend by name: "" or "openflow"
+	// builds the paper's per-flow rule installer, "srv6" (alias "srsteer")
+	// the stateless ingress-encapsulation backend. See NewSteering.
+	SteerBackend string
+}
+
+// NewSteering maps a backend name to a fresh steer.Steering: "" and
+// "openflow" select the rule-install backend (nil is returned for "", so
+// core.New applies its own default), "srv6"/"srsteer" the stateless one.
+// Unknown names panic — backend selection is experiment configuration, and
+// silently running the wrong backend would invalidate a comparison.
+func NewSteering(name string) steer.Steering {
+	switch name {
+	case "":
+		return nil
+	case "openflow":
+		return steer.NewOpenFlow()
+	case "srv6", "srsteer":
+		return srsteer.New()
+	default:
+		panic(fmt.Sprintf("testbed: unknown steering backend %q", name))
+	}
 }
 
 // Testbed is the assembled simulation.
@@ -284,6 +308,7 @@ func New(opts Options) *Testbed {
 	ctrlCfg.Events = opts.Events
 	ctrlCfg.Trace = opts.Trace
 	ctrlCfg.Counters = opts.Counters
+	ctrlCfg.Steering = NewSteering(opts.SteerBackend)
 	tb.Net.SetObs(opts.Counters)
 	if opts.SwitchIdleTimeout > 0 {
 		ctrlCfg.SwitchIdleTimeout = opts.SwitchIdleTimeout
