@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard race-steer bench bench-10m fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard race-steer bench bench-10m bench-compare fuzz experiments examples clean
 
 all: check
 
@@ -81,6 +81,19 @@ bench:
 # wall time). Appends to BENCH_replay.json.
 bench-10m:
 	$(GO) test -json -bench 'BenchmarkReplayShard_10M' -benchmem -benchtime 1x -run '^$$' . >> BENCH_replay.json
+
+# Re-run the replay benchmarks on HEAD and diff them against the stored
+# baseline (BENCH_replay.json). Uses benchstat when it is on PATH;
+# otherwise falls back to the in-repo comparer, which reads both the
+# stored -json stream and plain bench text directly.
+bench-compare:
+	$(GO) test -bench 'BenchmarkReplayScale' -benchmem -benchtime 1x -run '^$$' . > /tmp/bench_head.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) run ./tools/benchcompare -totext BENCH_replay.json > /tmp/bench_base.txt; \
+		benchstat /tmp/bench_base.txt /tmp/bench_head.txt; \
+	else \
+		$(GO) run ./tools/benchcompare BENCH_replay.json /tmp/bench_head.txt; \
+	fi
 
 # Fuzz the YAML parser for a minute.
 fuzz:

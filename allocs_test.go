@@ -1,0 +1,32 @@
+package transparentedge_test
+
+import (
+	"testing"
+
+	edge "transparentedge"
+)
+
+// TestReplayAllocsPerRequestRegression pins the replay engine's
+// steady-state allocation rate below ten per request (DESIGN.md §15),
+// measured with testing.AllocsPerRun. Comparing two trace sizes cancels
+// the per-run fixed cost (testbed construction, trace generation, the
+// eight warm-up deployments): the delta between the 8k- and 2k-request
+// replays is six thousand requests of pure steady-state path. The
+// simulation is deterministic per seed, so the count is stable — a
+// failure here means a new allocation crept onto the request path.
+func TestReplayAllocsPerRequestRegression(t *testing.T) {
+	const small, large = 2000, 8000
+	run := func(requests int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			res := edge.RunReplayScale(benchSeed, requests, true)
+			if res.Errors != 0 {
+				t.Fatalf("replay of %d requests: %d errors", requests, res.Errors)
+			}
+		})
+	}
+	perRequest := (run(large) - run(small)) / float64(large-small)
+	t.Logf("steady-state allocations per request: %.2f", perRequest)
+	if perRequest >= 10 {
+		t.Fatalf("steady-state allocs/request = %.2f, want < 10", perRequest)
+	}
+}

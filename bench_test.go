@@ -333,36 +333,69 @@ func BenchmarkReplayScale_10k(b *testing.B)  { replayScale(b, 10_000) }
 func BenchmarkReplayScale_100k(b *testing.B) { replayScale(b, 100_000) }
 func BenchmarkReplayScale_1M(b *testing.B)   { replayScale(b, 1_000_000) }
 
-// benchReplayShard runs the sharded multi-region replay serially (one
-// kernel) and sharded (eight kernels, one per region plus the backbone),
-// asserts the two runs are bit-identical, and reports the wall-clock
-// speedup. Parity is asserted on every machine; the >= 3x speedup floor
-// only on >= 4 cores (conservative-lookahead windows cannot beat the
-// serial kernel without parallel hardware).
+// machineMetrics records the parallel-hardware context a stored bench file
+// needs to make its speedup numbers interpretable: a 1.0x speedup is a
+// regression on 16 cores and expected on 1.
+func machineMetrics(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(runtime.NumCPU()), "cores")
+}
+
+// benchReplayShard runs the multi-region replay as separate serial (one
+// kernel) and sharded (eight kernels, one per region plus the backbone)
+// sub-benchmarks, so each strategy gets its own timing and allocation line
+// in the bench JSON instead of both being folded into one iteration. The
+// sharded run asserts bit-identical fingerprints against the serial one on
+// every machine. The >= 3x speedup floor lives in its own gate
+// sub-benchmark: conservative-lookahead windows cannot beat the serial
+// kernel without parallel hardware, so on core-starved machines the gate
+// skips with a message instead of failing.
 func benchReplayShard(b *testing.B, requests int) {
-	b.ReportAllocs()
 	var serial, sharded edge.ReplayShardResult
-	for i := 0; i < b.N; i++ {
-		serial = edge.RunReplayShard(benchSeed, requests, 1, nil)
-		sharded = edge.RunReplayShard(benchSeed, requests, 8, nil)
-		if serial.Errors != 0 {
-			b.Fatalf("serial replay errors = %d", serial.Errors)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serial = edge.RunReplayShard(benchSeed, requests, 1, nil)
+			if serial.Errors != 0 {
+				b.Fatalf("serial replay errors = %d", serial.Errors)
+			}
 		}
-		if serial.Fingerprint() != sharded.Fingerprint() {
+		b.ReportMetric(ms(serial.Wall), "wall_ms")
+		b.ReportMetric(serial.AllocsPerRequest, "allocs/request")
+		b.ReportMetric(ms(serial.Median), "median_ms")
+		machineMetrics(b)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sharded = edge.RunReplayShard(benchSeed, requests, 8, nil)
+			if sharded.Errors != 0 {
+				b.Fatalf("sharded replay errors = %d", sharded.Errors)
+			}
+		}
+		b.ReportMetric(ms(sharded.Wall), "wall_ms")
+		b.ReportMetric(sharded.AllocsPerRequest, "allocs/request")
+		b.ReportMetric(ms(sharded.Median), "median_ms")
+		machineMetrics(b)
+		b.Logf("\n%s", sharded.String())
+		if serial.Wall > 0 && serial.Fingerprint() != sharded.Fingerprint() {
 			b.Fatalf("sharded run diverges from serial: %016x != %016x",
 				sharded.Fingerprint(), serial.Fingerprint())
 		}
-	}
-	speedup := float64(serial.Wall) / float64(sharded.Wall)
-	b.ReportMetric(ms(serial.Wall), "serial_ms")
-	b.ReportMetric(ms(sharded.Wall), "sharded_ms")
-	b.ReportMetric(speedup, "speedup")
-	b.ReportMetric(sharded.AllocsPerRequest, "allocs/request")
-	b.ReportMetric(ms(sharded.Median), "median_ms")
-	b.Logf("\n%s", sharded.String())
-	if runtime.NumCPU() >= 4 && speedup < 3 {
-		b.Fatalf("speedup %.2fx < 3x over serial on %d cores", speedup, runtime.NumCPU())
-	}
+	})
+	b.Run("speedup-gate", func(b *testing.B) {
+		if serial.Wall == 0 || sharded.Wall == 0 {
+			b.Skip("serial or sharded sub-benchmark filtered out; no speedup reference")
+		}
+		speedup := float64(serial.Wall) / float64(sharded.Wall)
+		b.ReportMetric(speedup, "speedup")
+		machineMetrics(b)
+		if cores := runtime.NumCPU(); cores < 4 {
+			b.Skipf("speedup gate needs >= 4 cores, have %d (measured %.2fx)", cores, speedup)
+		} else if speedup < 3 {
+			b.Fatalf("speedup %.2fx < 3x over serial on %d cores", speedup, cores)
+		}
+	})
 }
 
 // BenchmarkReplayShard is the tentpole gate: a 1M-request trace over eight

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -44,7 +45,52 @@ var (
 
 	traceFile    = flag.String("trace", "", "write the run's spans as a Chrome trace-event file (open in ui.perfetto.dev)")
 	showCounters = flag.Bool("counters", false, "collect obs counters: Prometheus text on stdout (with -json, a counters block in the result)")
+
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file` (works with every experiment)")
+	memProfile = flag.String("memprofile", "", "write a pprof allocation profile of the run to `file` (works with every experiment)")
 )
+
+// startProfiles starts -cpuprofile collection and returns the stop function
+// that finalizes both profile files. stop must run exactly once, after the
+// experiment: the CPU profile covers the whole run, and the allocation
+// profile is written at the end (pprof "allocs" keeps cumulative totals, so
+// alloc_space covers the run too, while inuse_space reflects the final live
+// set after a forced GC).
+func startProfiles() (stop func() error, err error) {
+	var cpuF *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
 
 // obsRun bundles the -trace / -counters wiring of one edgesim invocation:
 // a tracer streaming into a Chrome trace-event file, and/or one counter
@@ -231,7 +277,22 @@ Flags:
 	flag.PrintDefaults()
 }
 
+// run wraps one invocation's experiment(s) in the optional -cpuprofile /
+// -memprofile collection; profiling is started once even when the
+// experiment is "all".
 func run(which string) error {
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	if err := runExperiment(which); err != nil {
+		stopProfiles()
+		return err
+	}
+	return stopProfiles()
+}
+
+func runExperiment(which string) error {
 	if which == "all" {
 		if *traceFile != "" {
 			return fmt.Errorf("-trace needs a single experiment (it writes one trace file)")
@@ -240,7 +301,7 @@ func run(which string) error {
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
 			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
 			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard", "scale-steer"} {
-			if err := run(w); err != nil {
+			if err := runExperiment(w); err != nil {
 				return fmt.Errorf("%s: %w", w, err)
 			}
 			fmt.Println()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -23,6 +24,31 @@ func TestValidateShards(t *testing.T) {
 	}
 	if err := validateShards(maxShards + 1); err == nil {
 		t.Errorf("validateShards(%d) = nil, want error", maxShards+1)
+	}
+}
+
+// Every experiment honors -cpuprofile/-memprofile: the profile files must
+// exist and be non-empty after run returns. table1 keeps the test cheap —
+// the profiling wrapper is experiment-agnostic (it brackets runExperiment).
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	oldCPU, oldMem := *cpuProfile, *memProfile
+	defer func() { *cpuProfile, *memProfile = oldCPU, oldMem }()
+	*cpuProfile, *memProfile = cpu, mem
+
+	if err := run("table1"); err != nil {
+		t.Fatalf("run(table1) with profiling: %v", err)
+	}
+	for _, f := range []string{cpu, mem} {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", f, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", f)
+		}
 	}
 }
 

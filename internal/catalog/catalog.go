@@ -287,12 +287,28 @@ func Behaviors() cluster.StaticBehaviors {
 	}
 }
 
-// Request returns the client request for a service (timecurl's GET, or the
-// POST with the 83 KiB payload for ResNet).
-func Request(key string) *simnet.HTTPRequest {
-	s, err := Get(key)
-	if err != nil {
-		return &simnet.HTTPRequest{Method: "GET", Path: "/", Size: 256}
+// requestByKey caches the per-service client request shapes. The catalog is
+// static, the request objects are never mutated by the transport (wire sizes
+// are clamped on send, not in place), and the map is read-only after package
+// init — so sharing one request per key across every in-flight request is
+// safe, including across shard kernels, and keeps the replay hot path from
+// allocating a fresh request per call.
+var requestByKey = func() map[string]*simnet.HTTPRequest {
+	m := make(map[string]*simnet.HTTPRequest)
+	for _, list := range [][]Service{Services(), WasmServices()} {
+		for _, s := range list {
+			m[s.Key] = &simnet.HTTPRequest{Method: s.HTTPMethod, Path: "/", Size: s.RequestSize}
+		}
 	}
-	return &simnet.HTTPRequest{Method: s.HTTPMethod, Path: "/", Size: s.RequestSize}
+	return m
+}()
+
+// Request returns the client request for a service (timecurl's GET, or the
+// POST with the 83 KiB payload for ResNet). The returned request is shared
+// and must not be mutated.
+func Request(key string) *simnet.HTTPRequest {
+	if r, ok := requestByKey[key]; ok {
+		return r
+	}
+	return &simnet.HTTPRequest{Method: "GET", Path: "/", Size: 256}
 }

@@ -61,6 +61,17 @@ func (b Behavior) Handler() simnet.HTTPHandler {
 	}
 }
 
+// AsyncHandler returns the callback-mode equivalent of Handler: identical
+// virtual-time behavior (service time elapses between request and response)
+// with no per-connection process, and one response object cached across all
+// requests — the behavior's answer is constant, so every request shares it.
+func (b Behavior) AsyncHandler() simnet.HTTPAsyncHandler {
+	resp := &simnet.HTTPResponse{Status: 200, Size: b.RespSize, Body: "ok"}
+	return func(c *simnet.HTTPServerConn, req *simnet.HTTPRequest) {
+		c.RespondAfter(b.ServiceTime, resp)
+	}
+}
+
 // BehaviorSource resolves image references to behaviors. Implemented by the
 // experiment catalog; unknown images get a zero Behavior.
 type BehaviorSource interface {

@@ -75,9 +75,12 @@ type Config struct {
 	InitDelay time.Duration
 	// Handler serves the app's requests once ready (nil for non-HTTP apps).
 	Handler simnet.HTTPHandler
-	Labels  map[string]string
-	Env     map[string]string
-	Mounts  []Mount
+	// AsyncHandler is the callback-mode alternative to Handler (preferred
+	// when both are set): no per-connection process on the serving host.
+	AsyncHandler simnet.HTTPAsyncHandler
+	Labels       map[string]string
+	Env          map[string]string
+	Mounts       []Mount
 }
 
 // RuntimeConfig models the node-level lifecycle costs.
@@ -243,8 +246,12 @@ func (c *Container) Start(p *sim.Proc, hostPort int) error {
 		}
 		c.ready = true
 		c.readyAt = c.rt.host.Network().K.Now()
-		if c.cfg.AppPort > 0 && c.cfg.Handler != nil {
-			c.listener = c.rt.host.ServeHTTP(c.hostPort, c.cfg.Handler)
+		if c.cfg.AppPort > 0 {
+			if c.cfg.AsyncHandler != nil {
+				c.listener = c.rt.host.ServeHTTPAsync(c.hostPort, c.cfg.AsyncHandler)
+			} else if c.cfg.Handler != nil {
+				c.listener = c.rt.host.ServeHTTP(c.hostPort, c.cfg.Handler)
+			}
 		}
 	})
 	return nil

@@ -160,7 +160,7 @@ func (e *Engine) Create(p *sim.Proc, a *spec.Annotated) error {
 			Env: cs.Env,
 		}
 		if cs.ContainerPort > 0 {
-			cfg.Handler = b.Handler()
+			cfg.AsyncHandler = b.AsyncHandler()
 		}
 		for _, m := range cs.Mounts {
 			cfg.Mounts = append(cfg.Mounts, container.Mount{

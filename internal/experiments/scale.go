@@ -68,7 +68,7 @@ func (s *stubCluster) Create(p *sim.Proc, a *spec.Annotated) error {
 func (s *stubCluster) ScaleUp(p *sim.Proc, service string) (cluster.Instance, error) {
 	s.running = true
 	if s.lis == nil {
-		s.lis = s.host.ServeHTTP(s.port, cluster.Behavior{RespSize: simnet.KiB}.Handler())
+		s.lis = s.host.ServeHTTPAsync(s.port, cluster.Behavior{RespSize: simnet.KiB}.AsyncHandler())
 	}
 	return s.instance(service), nil
 }

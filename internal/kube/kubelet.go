@@ -169,7 +169,7 @@ func (kl *Kubelet) startPod(p *sim.Proc, pod *Pod, pr *podRuntime) {
 			Env:       cs.Env,
 		}
 		if cs.ContainerPort > 0 {
-			cfg.Handler = b.Handler()
+			cfg.AsyncHandler = b.AsyncHandler()
 		}
 		for _, m := range cs.Mounts {
 			cfg.Mounts = append(cfg.Mounts, container.Mount{

@@ -214,7 +214,7 @@ func (pl *Platform) ScaleUp(p *sim.Proc, name string) (cluster.Instance, error) 
 		if !f.running || f.generation != gen {
 			return
 		}
-		f.listener = pl.host.ServeHTTP(f.port, b.Handler())
+		f.listener = pl.host.ServeHTTPAsync(f.port, b.AsyncHandler())
 	})
 	return pl.instance(name, f), nil
 }

@@ -18,13 +18,15 @@
 // executes the globally smallest (time, sequence) entry, so the three are
 // indistinguishable from one queue:
 //
-//   - a binary heap for arbitrary cancellable events (At/After);
+//   - a hierarchical timing wheel (see wheel.go) for arbitrary cancellable
+//     events (At/After) — O(1) insert/remove, no interface boxing, with a
+//     far-future overflow heap beyond the wheel horizon;
 //   - an immediate FIFO for zero-delay events (Defer) — appends are in
-//     (time, sequence) order by construction, so no heap ops are needed;
+//     (time, sequence) order by construction, so no queue ops are needed;
 //   - staged FIFOs ("lanes") for monotone batch schedules (AtBatch) —
-//     pre-sorted arrival schedules append in O(1) per event instead of
-//     O(log n); concurrent batches land in separate lanes so several
-//     overlapping schedules stay O(1) per event too.
+//     pre-sorted arrival schedules append in O(1) per event; concurrent
+//     batches land in separate lanes so several overlapping schedules stay
+//     O(1) per event too.
 //
 // Fire-and-forget events scheduled with AfterFree additionally recycle
 // their Event structs through a free list, keeping the simulation's
@@ -32,8 +34,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -52,8 +54,8 @@ type Event struct {
 	k         *Kernel
 	cancelled bool
 	fired     bool
-	pooled    bool // scheduled via AfterFree: no handle escaped, recyclable
-	index     int  // heap index, -1 once removed
+	pooled    bool   // scheduled via AfterFree: no handle escaped, recyclable
+	stamp     uint32 // bumped on Schedule; queue entries with older stamps are stale
 }
 
 // When returns the simulation time the event is (or was) scheduled for.
@@ -72,35 +74,6 @@ func (e *Event) Cancel() bool {
 		e.k.live--
 	}
 	return true
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }
 
 // immEvent is a zero-delay event (Defer). Stored by value: no allocation,
@@ -143,7 +116,7 @@ func (ln *stagedLane) tailWhen() Time { return ln.events[len(ln.events)-1].when 
 // usable; construct with New.
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	wheel   timerWheel
 	seq     uint64
 	rng     *rand.Rand
 	stepped uint64
@@ -161,7 +134,9 @@ type Kernel struct {
 // New returns a kernel whose clock starts at zero and whose random source is
 // seeded with seed, making every run with the same seed identical.
 func New(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k := &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k.wheel.init()
+	return k
 }
 
 // Now returns the current simulation time.
@@ -189,7 +164,7 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	e := &Event{when: t, seq: k.seq, fn: fn, k: k}
 	k.seq++
 	k.live++
-	heap.Push(&k.queue, e)
+	k.wheel.add(timerEntry{when: t, seq: e.seq, stamp: e.stamp, ev: e})
 	return e
 }
 
@@ -206,14 +181,14 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 // one Event for a recurring timer keeps repeated scheduling allocation-free,
 // which is what the simnet transfer path does per packet.
 func (k *Kernel) NewEvent(fn func()) *Event {
-	return &Event{k: k, fn: fn, fired: true, index: -1}
+	return &Event{k: k, fn: fn, fired: true}
 }
 
 // Schedule arms e at absolute simulation time t with a fresh sequence
-// number. If e is already queued it is moved (rescheduled) in place; if it
-// was cancelled but not yet drained from the queue it is resurrected; if it
-// already fired (or was never armed) it is pushed anew. Scheduling in the
-// past panics.
+// number. If e is already queued it is moved (its old queue entry becomes
+// stale and is dropped lazily); if it was cancelled but not yet drained it
+// is resurrected; if it already fired (or was never armed) it is queued
+// anew. Scheduling in the past panics.
 func (k *Kernel) Schedule(e *Event, t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
@@ -229,19 +204,13 @@ func (k *Kernel) Schedule(e *Event, t Time) {
 	e.when = t
 	e.seq = k.seq
 	k.seq++
-	if e.index >= 0 { // still physically queued
-		if e.cancelled || e.fired {
-			e.cancelled = false
-			e.fired = false
-			k.live++
-		}
-		heap.Fix(&k.queue, e.index)
-		return
+	e.stamp++ // any queued entry for the previous arm is now stale
+	if e.cancelled || e.fired {
+		e.cancelled = false
+		e.fired = false
+		k.live++
 	}
-	e.cancelled = false
-	e.fired = false
-	k.live++
-	heap.Push(&k.queue, e)
+	k.wheel.add(timerEntry{when: t, seq: e.seq, stamp: e.stamp, ev: e})
 }
 
 // Defer schedules fn to run at the current simulation time, after every
@@ -282,7 +251,7 @@ func (k *Kernel) AfterFree(d time.Duration, fn func()) {
 	e.fn = fn
 	k.seq++
 	k.live++
-	heap.Push(&k.queue, e)
+	k.wheel.add(timerEntry{when: e.when, seq: e.seq, stamp: e.stamp, ev: e})
 }
 
 // maxStagedLanes bounds the number of staged lanes the kernel keeps; a
@@ -349,20 +318,6 @@ func (k *Kernel) stagedLaneFor(t Time) *stagedLane {
 	return &k.staged[len(k.staged)-1]
 }
 
-// nextHeap drains cancelled events off the heap top and returns the live
-// head, or nil when the heap holds no live events.
-func (k *Kernel) nextHeap() *Event {
-	for len(k.queue) > 0 {
-		e := k.queue[0]
-		if !e.cancelled {
-			return e
-		}
-		heap.Pop(&k.queue)
-		k.recycle(e)
-	}
-	return nil
-}
-
 // recycle returns a pooled event to the free list once it can no longer
 // fire. Events whose handles escaped via At/After are never recycled.
 func (k *Kernel) recycle(e *Event) {
@@ -376,16 +331,24 @@ func (k *Kernel) recycle(e *Event) {
 // event queue sources for Step's three-way selection.
 const (
 	srcNone = iota
-	srcHeap
+	srcWheel
 	srcImm
 	srcStaged
 )
+
+// maxTime is the unbounded sweep limit for wheel peeks with no competing
+// earlier candidate.
+const maxTime = Time(math.MaxInt64)
 
 // nextSource returns the queue holding the globally smallest (time, seq)
 // live event, plus the staged lane index when that queue is srcStaged.
 // Every candidate goes through the same consider() update so the (when,
 // seq) tie-break stays total no matter how many sources exist — adding a
 // source cannot silently inherit a stale key from the previous winner.
+// The FIFO sources are examined first so their best candidate can bound the
+// wheel's sweep: the wheel only needs an answer at or before that time, and
+// the bound keeps its cursor from running ahead of the clock toward
+// far-future timers.
 func (k *Kernel) nextSource() (src, lane int) {
 	src, lane = srcNone, -1
 	var when Time
@@ -394,9 +357,6 @@ func (k *Kernel) nextSource() (src, lane int) {
 		if src == srcNone || w < when || (w == when && q < seq) {
 			src, lane, when, seq = s, ln, w, q
 		}
-	}
-	if e := k.nextHeap(); e != nil {
-		consider(srcHeap, -1, e.when, e.seq)
 	}
 	if k.immHead < len(k.imm) {
 		ie := &k.imm[k.immHead]
@@ -409,6 +369,13 @@ func (k *Kernel) nextSource() (src, lane int) {
 			consider(srcStaged, i, se.when, se.seq)
 		}
 	}
+	limit := maxTime
+	if src != srcNone {
+		limit = when
+	}
+	if en := k.wheel.peek(limit); en != nil {
+		consider(srcWheel, -1, en.when, en.seq)
+	}
 	return src, lane
 }
 
@@ -418,9 +385,10 @@ func (k *Kernel) nextSource() (src, lane int) {
 func (k *Kernel) Step() bool {
 	src, lane := k.nextSource()
 	switch src {
-	case srcHeap:
-		e := heap.Pop(&k.queue).(*Event)
-		k.now = e.when
+	case srcWheel:
+		en := k.wheel.pop()
+		e := en.ev
+		k.now = en.when
 		e.fired = true
 		k.live--
 		k.stepped++
@@ -466,16 +434,16 @@ func (k *Kernel) Run() {
 }
 
 // nextWhen returns the timestamp of the next live event across all queues.
-func (k *Kernel) nextWhen() (Time, bool) {
+// bound limits how far the wheel sweep may chase a candidate: a caller that
+// only needs to know whether anything runs at or before t passes t, which
+// keeps the cursor from running out to far-future timers. The returned
+// timestamp is exact whenever it is <= bound; beyond the bound it may simply
+// report the first entry the wheel happens to know about.
+func (k *Kernel) nextWhen(bound Time) (Time, bool) {
 	var w Time
 	ok := false
-	if e := k.nextHeap(); e != nil {
-		w, ok = e.when, true
-	}
 	if k.immHead < len(k.imm) {
-		if iw := k.imm[k.immHead].when; !ok || iw < w {
-			w, ok = iw, true
-		}
+		w, ok = k.imm[k.immHead].when, true
 	}
 	for i := range k.staged {
 		ln := &k.staged[i]
@@ -485,13 +453,20 @@ func (k *Kernel) nextWhen() (Time, bool) {
 			}
 		}
 	}
+	limit := bound
+	if ok && w < limit {
+		limit = w
+	}
+	if en := k.wheel.peek(limit); en != nil && (!ok || en.when < w) {
+		w, ok = en.when, true
+	}
 	return w, ok
 }
 
 // NextWhen returns the timestamp of the next live event across all queues,
 // without executing anything. ok is false when no live events remain. Shard
 // coordinators use it to compute the global window floor.
-func (k *Kernel) NextWhen() (Time, bool) { return k.nextWhen() }
+func (k *Kernel) NextWhen() (Time, bool) { return k.nextWhen(maxTime) }
 
 // RunUntilBefore executes events with timestamps strictly before t. Unlike
 // RunUntil it never advances the clock past the last executed event, so a
@@ -499,7 +474,7 @@ func (k *Kernel) NextWhen() (Time, bool) { return k.nextWhen() }
 // >= its local clock afterwards.
 func (k *Kernel) RunUntilBefore(t Time) {
 	for {
-		w, ok := k.nextWhen()
+		w, ok := k.nextWhen(t)
 		if !ok || w >= t {
 			return
 		}
@@ -511,7 +486,7 @@ func (k *Kernel) RunUntilBefore(t Time) {
 // exactly t. Events scheduled for after t remain pending.
 func (k *Kernel) RunUntil(t Time) {
 	for {
-		w, ok := k.nextWhen()
+		w, ok := k.nextWhen(t)
 		if !ok || w > t {
 			break
 		}

@@ -92,7 +92,7 @@ func TestCancelReArmChain(t *testing.T) {
 func TestSchedulePooledEventPanics(t *testing.T) {
 	k := New(1)
 	k.AfterFree(time.Millisecond, func() {})
-	e := k.queue[0] // the pooled event (test-internal access)
+	e := k.wheel.peek(maxTime).ev // the pooled event (test-internal access)
 	defer func() {
 		if recover() == nil {
 			t.Error("Schedule on a pooled event must panic")
@@ -148,8 +148,8 @@ func TestAtBatchMultiLaneStaysOffHeap(t *testing.T) {
 	k.AtBatch([]Time{1 * time.Millisecond, 10 * time.Millisecond}, func(i int) { got = append(got, 10+i) })
 	k.AtBatch([]Time{2 * time.Millisecond, 3 * time.Millisecond}, func(i int) { got = append(got, 20+i) })
 	k.AtBatch([]Time{2 * time.Millisecond, 12 * time.Millisecond}, func(i int) { got = append(got, 30+i) })
-	if len(k.queue) != 0 {
-		t.Fatalf("heap has %d events, want 0 (batches must stage in lanes)", len(k.queue))
+	if n := k.wheel.entries(); n != 0 {
+		t.Fatalf("wheel has %d events, want 0 (batches must stage in lanes)", n)
 	}
 	if len(k.staged) != 3 {
 		t.Fatalf("staged lanes = %d, want 3", len(k.staged))

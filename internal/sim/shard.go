@@ -179,7 +179,7 @@ func (g *ShardGroup) run(limit Time) {
 		g.drain()
 		floor, ok := Time(0), false
 		for _, k := range g.kernels {
-			if w, kok := k.nextWhen(); kok && (!ok || w < floor) {
+			if w, kok := k.nextWhen(maxTime); kok && (!ok || w < floor) {
 				floor, ok = w, true
 			}
 		}
@@ -203,7 +203,7 @@ func (g *ShardGroup) run(limit Time) {
 func (g *ShardGroup) window(horizon Time) {
 	busy := g.busy[:0]
 	for _, k := range g.kernels {
-		if w, ok := k.nextWhen(); ok && w < horizon {
+		if w, ok := k.nextWhen(horizon); ok && w < horizon {
 			busy = append(busy, k)
 		}
 	}

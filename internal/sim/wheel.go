@@ -1,0 +1,361 @@
+package sim
+
+// This file implements the kernel's timer queue as a hierarchical timing
+// wheel (Varghese & Lauck) with a near-term min-heap and a far-future
+// overflow heap, replacing the former container/heap binary heap. The wheel
+// keeps the exact total order the heap had — (when, seq) ascending — so
+// every run is bit-identical to the heap implementation, while insert and
+// remove become O(1) amortized with no interface boxing on the hot path.
+//
+// Geometry: wheelLevels levels of wheelSlots slots each. A level-0 slot
+// covers 2^wheelShift ns (~1µs); each higher level is wheelSlots times
+// coarser. Level l holds entries whose level-l slot index is within
+// wheelSlots of the sweep cursor's; everything beyond the top level's
+// horizon (~13 days of virtual time) waits in the overflow min-heap and is
+// promoted when the cursor approaches.
+//
+// The sweep cursor `swept` is the collection boundary: every entry with
+// when < swept has been moved into the `near` heap (or executed). Collection
+// advances one level-0 slot at a time, so `near` holds at most one slot's
+// entries plus stragglers scheduled behind the boundary (the kernel clock
+// trails it) — typically a few hundred entries, small enough that its
+// O(log m) sift is cheap. Pop takes the heap minimum, which is exactly the
+// global (when, seq) minimum: every uncollected entry is >= swept and every
+// near entry is < swept. A heap rather than a sorted run matters because
+// datapath code (bandwidth rebalancing) re-schedules whole cohorts of
+// in-flight events behind the boundary on every membership change; a sorted
+// run degrades to O(cohort) memmove per insert, the heap stays logarithmic.
+//
+// Cancellation and re-scheduling are lazy: entries carry the stamp their
+// event had at insert time, Event.stamp increments on every Schedule, and
+// stale or cancelled entries are dropped when they surface. This mirrors the
+// old heap's lazy cancel drain and keeps Schedule O(1).
+const (
+	wheelShift  = 10 // level-0 tick: 2^10 ns ≈ 1µs
+	wheelBits   = 8  // slots per level: 2^8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 5 // horizon: 2^(10+8*5) ns ≈ 13 days of virtual time
+
+	// wheelSlotCap is the per-slot capacity carved out of the init arena.
+	// Slots that transiently exceed it grow (and keep) their own backing
+	// array; everything else appends into pre-allocated storage, which is
+	// what keeps the steady-state datapath at zero allocations.
+	wheelSlotCap = 4
+)
+
+// timerEntry is one queued occurrence of an event. Entries are stored by
+// value; when and seq are copied at insert time so later re-arms of the same
+// Event cannot corrupt the sort order of the stale entry they leave behind.
+type timerEntry struct {
+	when  Time
+	seq   uint64
+	stamp uint32
+	ev    *Event
+}
+
+// live reports whether the entry still represents its event's current
+// schedule: the event was not cancelled and not re-armed since insertion.
+func (e *timerEntry) live() bool {
+	return e.ev.stamp == e.stamp && !e.ev.cancelled
+}
+
+func entryBefore(a, b timerEntry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+type timerWheel struct {
+	slots  [wheelLevels][wheelSlots][]timerEntry
+	counts [wheelLevels]int // entries per level, stale included
+	swept  Time             // collection boundary: entries with when < swept are in near
+	// near is a min-heap on (when, seq) of collected and behind-boundary
+	// entries. It is the only place pop reads from.
+	near []timerEntry
+	// overflow is a min-heap on (when, seq) of entries beyond the wheel
+	// horizon; sweep promotes them into the wheel as swept approaches.
+	overflow []timerEntry
+}
+
+// init carves every slot's initial capacity out of one arena allocation.
+// The zero-value wheel works without it (slots grow on demand); init exists
+// so a fresh kernel's timer slots are warm from the first event, keeping
+// AllocsPerRun-pinned datapath tests at zero as the clock walks new slots.
+func (w *timerWheel) init() {
+	arena := make([]timerEntry, wheelLevels*wheelSlots*wheelSlotCap)
+	for l := 0; l < wheelLevels; l++ {
+		for s := 0; s < wheelSlots; s++ {
+			off := (l*wheelSlots + s) * wheelSlotCap
+			w.slots[l][s] = arena[off : off : off+wheelSlotCap]
+		}
+	}
+}
+
+// entries returns the number of queued entries across all storage, stale
+// ones included (diagnostics and tests only).
+func (w *timerWheel) entries() int {
+	n := len(w.near) + len(w.overflow)
+	for _, c := range w.counts {
+		n += c
+	}
+	return n
+}
+
+// add inserts an entry at the level matching its distance from the sweep
+// cursor. Entries behind the cursor go straight to the near heap; entries
+// beyond the top level's horizon go to the overflow heap.
+//
+// A full slot is compacted in place before growing: datapath code that
+// re-arms events aggressively (bandwidth rebalancing re-schedules every
+// in-flight transfer per membership change) leaves its stale entries behind
+// in slots, and under churn a slot's population is overwhelmingly dead long
+// before the cursor reaches it. Compaction keeps such slots at their arena
+// capacity instead of doubling into megabyte backing arrays; slots that are
+// genuinely mostly live grow as before. Either way the work is amortized
+// O(1) per insert: a compaction that frees less than half the slot is
+// immediately followed by a doubling, so every scan is paid for by the
+// inserts that filled the reclaimed or newly grown space.
+func (w *timerWheel) add(e timerEntry) {
+	if e.when < w.swept {
+		entryHeapPush(&w.near, e)
+		return
+	}
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint(wheelShift + l*wheelBits)
+		if (e.when>>shift)-(w.swept>>shift) < wheelSlots {
+			idx := int(e.when>>shift) & wheelMask
+			s := w.slots[l][idx]
+			if len(s) == cap(s) && len(s) > 0 {
+				kept := s[:0]
+				for i := range s {
+					if s[i].live() {
+						kept = append(kept, s[i])
+					}
+				}
+				w.counts[l] -= len(s) - len(kept)
+				for i := len(kept); i < len(s); i++ {
+					s[i].ev = nil
+				}
+				s = kept
+				if len(s)*2 > cap(s) {
+					grown := make([]timerEntry, len(s), 2*cap(s))
+					copy(grown, s)
+					s = grown
+				}
+			}
+			w.slots[l][idx] = append(s, e)
+			w.counts[l]++
+			return
+		}
+	}
+	entryHeapPush(&w.overflow, e)
+}
+
+// peek returns the wheel's smallest (when, seq) entry, or nil when no live
+// entry exists at or before limit. Stale and cancelled entries surfacing at
+// the head are dropped lazily, exactly like the old heap's cancel drain.
+//
+// The limit is a sweep bound, not a filter: an already-collected entry is
+// returned even if it lies beyond limit, but the sweep cursor never chases
+// entries past it. Callers that already hold an earlier candidate (an
+// immediate or staged event) pass its timestamp, which keeps the cursor
+// pinned near the clock. Without the bound the cursor would run ahead to
+// far-future entries (pending timeouts), and every near-term event scheduled
+// afterwards would land behind it — bloating the near heap without bound.
+// Pass maxTime for an unbounded peek.
+func (w *timerWheel) peek(limit Time) *timerEntry {
+	for {
+		for len(w.near) > 0 {
+			en := &w.near[0]
+			if !en.live() {
+				entryHeapPop(&w.near)
+				continue
+			}
+			return en
+		}
+		if !w.sweep(limit) {
+			return nil
+		}
+	}
+}
+
+// pop removes and returns the head entry. Callers must have established via
+// peek that a live head exists.
+func (w *timerWheel) pop() timerEntry {
+	return entryHeapPop(&w.near)
+}
+
+// sweep advances the collection boundary toward the next non-empty level-0
+// slot and collects it into the near heap, cascading higher-level slots and
+// promoting overflow entries as the cursor passes their horizon. The cursor
+// never chases a slot that starts after limit: sweep parks there and reports
+// false instead, leaving far entries in place so later near-term inserts
+// still land in wheel slots. It reports whether anything was collected
+// (false = nothing due at or before limit).
+func (w *timerWheel) sweep(limit Time) bool {
+	const topShift = uint(wheelShift + (wheelLevels-1)*wheelBits)
+	for {
+		// Promote far-future entries that now fit under the horizon.
+		for len(w.overflow) > 0 && (w.overflow[0].when>>topShift)-(w.swept>>topShift) < wheelSlots {
+			w.add(entryHeapPop(&w.overflow))
+		}
+		total := 0
+		for _, c := range w.counts {
+			total += c
+		}
+		if total == 0 {
+			if len(w.overflow) == 0 || w.overflow[0].when > limit {
+				return false
+			}
+			// Jump the cursor to the overflow minimum; the promotion above
+			// migrates everything that fits on the next iteration.
+			w.swept = w.overflow[0].when
+			continue
+		}
+		// Cascade due higher-level slots down, top level first so freshly
+		// cascaded entries landing in a lower due slot cascade again in the
+		// same pass. An entry in the cursor's level-l slot always fits level
+		// l-1 (same level-l index means the finer index difference is under
+		// wheelSlots), so cascading strictly descends.
+		for l := wheelLevels - 1; l >= 1; l-- {
+			if w.counts[l] == 0 {
+				continue
+			}
+			shift := uint(wheelShift + l*wheelBits)
+			s := &w.slots[l][int(w.swept>>shift)&wheelMask]
+			if len(*s) == 0 {
+				continue
+			}
+			w.counts[l] -= len(*s)
+			for _, e := range *s {
+				if e.live() {
+					w.add(e)
+				}
+			}
+			for i := range *s {
+				(*s)[i].ev = nil
+			}
+			*s = (*s)[:0]
+		}
+		// Find the lowest populated level; empty lower levels let the cursor
+		// jump whole slots at coarser granularity.
+		low := 0
+		for low < wheelLevels && w.counts[low] == 0 {
+			low++
+		}
+		if low == wheelLevels {
+			continue // cascade dropped stale entries; re-check overflow
+		}
+		shift := uint(wheelShift + low*wheelBits)
+		idx := w.swept >> shift
+		// The scan must stop at the enclosing coarser slot's boundary:
+		// beyond it, a not-yet-cascaded higher-level entry could precede
+		// anything further out at this level.
+		bound := (idx &^ wheelMask) + wheelSlots
+		if low == 0 {
+			for i := idx; i < bound; i++ {
+				if t := Time(i) << wheelShift; t > limit {
+					if t > w.swept {
+						w.swept = t
+					}
+					return false
+				}
+				s := &w.slots[0][int(i)&wheelMask]
+				if len(*s) > 0 {
+					w.collect(s)
+					w.swept = Time(i+1) << wheelShift
+					return true
+				}
+			}
+			w.swept = Time(bound) << shift
+			continue
+		}
+		advanced := bound
+		for i := idx; i < bound; i++ {
+			if len(w.slots[low][int(i)&wheelMask]) > 0 {
+				advanced = i
+				break
+			}
+		}
+		if t := Time(advanced) << shift; t > limit {
+			// The populated slot starts beyond the limit: park at the slot
+			// boundary covering limit instead of at the slot itself. Slots in
+			// between are empty, so parking further would be a valid
+			// collection boundary too — but crossing the limit is exactly the
+			// cursor-runs-ahead failure mode the limit exists to prevent:
+			// events scheduled afterwards (all near the clock, hence behind
+			// the cursor) would pile into the near heap for the rest of the
+			// run.
+			if p := limit >> shift << shift; p > w.swept {
+				w.swept = p
+			}
+			return false
+		}
+		w.swept = Time(advanced) << shift
+		if advanced == bound {
+			continue
+		}
+		// The cursor now sits on a populated coarser slot; the next pass
+		// cascades it down to level 0.
+	}
+}
+
+// collect moves one level-0 slot's live entries into the near heap. Stale
+// entries are dropped here — stamps only ever advance, so an entry dead now
+// can never come back to life.
+func (w *timerWheel) collect(s *[]timerEntry) {
+	w.counts[0] -= len(*s)
+	for _, e := range *s {
+		if e.live() {
+			entryHeapPush(&w.near, e)
+		}
+	}
+	for i := range *s {
+		(*s)[i].ev = nil
+	}
+	*s = (*s)[:0]
+}
+
+// entryHeapPush / entryHeapPop implement a plain value min-heap on
+// (when, seq) — no interface boxing. Shared by the near and overflow heaps.
+func entryHeapPush(hp *[]timerEntry, e timerEntry) {
+	h := append(*hp, e)
+	*hp = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func entryHeapPop(hp *[]timerEntry) timerEntry {
+	h := *hp
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n].ev = nil
+	*hp = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && entryBefore(h[l], h[min]) {
+			min = l
+		}
+		if r < n && entryBefore(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

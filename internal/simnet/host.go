@@ -98,16 +98,37 @@ type Listener struct {
 // Listen opens a listener; accept is invoked (in a fresh sim process) for
 // every established inbound connection. Listening twice on a port panics.
 func (h *Host) Listen(port int, accept func(p *sim.Proc, c *Conn)) *Listener {
-	if _, dup := h.listeners[port]; dup {
-		panic(fmt.Sprintf("simnet: %s: duplicate listener on port %d", h.name, port))
-	}
-	l := &Listener{host: h, port: port}
+	l := h.newListener(port)
 	name := fmt.Sprintf("%s:accept:%d", h.name, port)
 	l.accept = func(c *Conn) {
+		c.rx = sim.NewChan[*Packet](h.net.K)
+		c.estab = sim.NewPromise[bool](h.net.K)
+		c.estab.Resolve(true)
 		h.net.K.Go(name, func(p *sim.Proc) {
 			accept(p, c)
 		})
 	}
+	return l
+}
+
+// ListenAsync opens a callback-mode listener: attach is invoked synchronously
+// inside the SYN-arrival event for every inbound connection and returns the
+// handler that will receive the connection's events. No per-connection
+// process, channel, or promise is created.
+func (h *Host) ListenAsync(port int, attach func(c *Conn) ConnHandler) *Listener {
+	l := h.newListener(port)
+	l.accept = func(c *Conn) {
+		c.estabOK = true
+		c.handler = attach(c)
+	}
+	return l
+}
+
+func (h *Host) newListener(port int) *Listener {
+	if _, dup := h.listeners[port]; dup {
+		panic(fmt.Sprintf("simnet: %s: duplicate listener on port %d", h.name, port))
+	}
+	l := &Listener{host: h, port: port}
 	h.listeners[port] = l
 	return l
 }
@@ -125,13 +146,32 @@ func (l *Listener) Close() {
 	delete(l.host.listeners, l.port)
 }
 
-// Conn is an established TCP-ish connection endpoint.
+// ConnHandler receives connection events in callback (async) mode, the
+// process-free alternative to Dial/Recv. Callbacks run synchronously inside
+// the packet-delivery event — same virtual instant as the process wake-up
+// they replace — and must not block; model time by scheduling kernel events.
+type ConnHandler interface {
+	// ConnEstablished reports handshake completion: ok=false means refused.
+	ConnEstablished(c *Conn, ok bool)
+	// ConnMessage delivers one in-order application payload.
+	ConnMessage(c *Conn, payload any)
+	// ConnClosed fires once when the connection shuts down (FIN, RST after
+	// establish, or local Close).
+	ConnClosed(c *Conn)
+}
+
+// Conn is an established TCP-ish connection endpoint. It operates in one of
+// two receive modes, fixed at creation: process mode (rx channel + estab
+// promise, blocking Recv) or callback mode (handler, no per-connection
+// process and no channel/promise allocations).
 type Conn struct {
 	host    *Host
 	local   addrPort
 	remote  addrPort
 	rx      *sim.Chan[*Packet]
 	estab   *sim.Promise[bool]
+	handler ConnHandler // callback mode when non-nil; rx and estab stay nil
+	estabOK bool        // callback mode: handshake completed
 	closed  bool
 	refused bool
 	// TCP-like in-order delivery of DATA segments: the sender numbers
@@ -220,6 +260,27 @@ func (h *Host) Dial(p *sim.Proc, dst Addr, port int, timeout time.Duration) (*Co
 	return c, nil
 }
 
+// DialAsync opens a connection in callback mode: nothing blocks, and handler
+// receives ConnEstablished when the handshake completes (ok=false when
+// refused). The SYN goes out in the same instant as a process Dial's would.
+// Timeouts are the caller's concern: schedule a kernel event and Close.
+func (h *Host) DialAsync(dst Addr, port int, handler ConnHandler) *Conn {
+	lp := h.ephemeral
+	h.ephemeral++
+	c := &Conn{
+		host:    h,
+		local:   addrPort{h.ip, lp},
+		remote:  addrPort{dst, port},
+		handler: handler,
+	}
+	h.conns[fourTuple{c.local, c.remote}] = c
+	syn := h.net.NewPacket()
+	syn.Kind, syn.SrcIP, syn.DstIP = KindSYN, h.ip, dst
+	syn.SrcPort, syn.DstPort, syn.Size = lp, port, minWireSize
+	h.sendOut(syn)
+	return c
+}
+
 // HandlePacket implements Node: demultiplex to connections and listeners.
 func (h *Host) HandlePacket(in *Port, pkt *Packet) {
 	key := fourTuple{
@@ -249,28 +310,40 @@ func (h *Host) HandlePacket(in *Port, pkt *Packet) {
 			host:   h,
 			local:  key.local,
 			remote: key.remote,
-			rx:     sim.NewChan[*Packet](h.net.K),
-			estab:  sim.NewPromise[bool](h.net.K),
 		}
-		c.estab.Resolve(true)
 		h.conns[key] = c
 		h.replySYNACK(c)
-		l.accept(c)
+		l.accept(c) // sets the connection's receive mode
 	case KindSYNACK:
-		if c, ok := h.conns[key]; ok && !c.estab.Done() {
-			c.estab.Resolve(true)
+		if c, ok := h.conns[key]; ok {
+			if c.handler != nil {
+				if !c.estabOK && !c.closed {
+					c.estabOK = true
+					c.handler.ConnEstablished(c, true)
+				}
+			} else if !c.estab.Done() {
+				c.estab.Resolve(true)
+			}
 		}
 		h.net.FreePacket(pkt)
 	case KindRST:
 		if c, ok := h.conns[key]; ok {
 			c.refused = true
-			if !c.estab.Done() {
+			delete(h.conns, key)
+			if c.handler != nil {
+				if !c.estabOK {
+					c.closed = true
+					c.handler.ConnEstablished(c, false)
+				} else if !c.closed {
+					c.closed = true
+					c.handler.ConnClosed(c)
+				}
+			} else if !c.estab.Done() {
 				c.estab.Resolve(false)
 			} else {
 				c.closed = true
 				c.rx.Close()
 			}
-			delete(h.conns, key)
 		}
 		h.net.FreePacket(pkt)
 	case KindDATA:
@@ -313,12 +386,25 @@ func (c *Conn) Send(size Bytes, payload any) error {
 	return nil
 }
 
+// deliver hands one in-order packet to the connection's receive mode:
+// callback connections get the payload synchronously (the packet returns to
+// the pool here), process connections get the packet queued for Recv.
+func (c *Conn) deliver(pkt *Packet) {
+	if c.handler != nil {
+		payload := pkt.Payload
+		c.host.net.FreePacket(pkt)
+		c.handler.ConnMessage(c, payload)
+		return
+	}
+	c.rx.Send(pkt)
+}
+
 // deliverInOrder enqueues pkt respecting sequence order, buffering
 // out-of-order arrivals.
 func (c *Conn) deliverInOrder(pkt *Packet) {
 	if pkt.Seq == 0 {
 		// Unsequenced segment (raw Port.Send without a Conn): pass through.
-		c.rx.Send(pkt)
+		c.deliver(pkt)
 		return
 	}
 	if pkt.Seq == c.recvNext+1 && len(c.oooBuf) == 0 {
@@ -326,7 +412,7 @@ func (c *Conn) deliverInOrder(pkt *Packet) {
 		// the reorder buffer entirely (it is allocated lazily, only when a
 		// connection actually sees out-of-order delivery).
 		c.recvNext++
-		c.rx.Send(pkt)
+		c.deliver(pkt)
 		c.maybeFinish()
 		return
 	}
@@ -341,7 +427,7 @@ func (c *Conn) deliverInOrder(pkt *Packet) {
 		}
 		delete(c.oooBuf, c.recvNext+1)
 		c.recvNext++
-		c.rx.Send(next)
+		c.deliver(next)
 	}
 	c.maybeFinish()
 }
@@ -353,14 +439,21 @@ func (c *Conn) maybeFinish() {
 	}
 	if c.recvNext+1 >= c.finSeq {
 		c.closed = true
-		c.rx.Close()
 		delete(c.host.conns, fourTuple{c.local, c.remote})
+		if c.handler != nil {
+			c.handler.ConnClosed(c)
+			return
+		}
+		c.rx.Close()
 	}
 }
 
 // Recv blocks until a message arrives (or the connection closes / the
 // timeout elapses; zero timeout waits forever).
 func (c *Conn) Recv(p *sim.Proc, timeout time.Duration) (any, error) {
+	if c.rx == nil {
+		panic("simnet: Recv on a callback-mode Conn")
+	}
 	if timeout <= 0 {
 		pkt, ok := c.rx.Recv(p)
 		if !ok {
@@ -406,7 +499,9 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	c.rx.Close()
+	if c.rx != nil {
+		c.rx.Close()
+	}
 	delete(c.host.conns, fourTuple{c.local, c.remote})
 	fin := c.host.net.NewPacket()
 	fin.Kind, fin.SrcIP, fin.DstIP = KindFIN, c.local.ip, c.remote.ip

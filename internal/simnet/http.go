@@ -53,6 +53,88 @@ func (h *Host) ServeHTTP(port int, handler HTTPHandler) *Listener {
 	})
 }
 
+// HTTPAsyncHandler serves one request on a callback-mode server connection.
+// It runs synchronously inside the request's delivery event and must not
+// block; model service time with RespondAfter.
+type HTTPAsyncHandler func(c *HTTPServerConn, req *HTTPRequest)
+
+// HTTPServerConn is the server side of one callback-mode HTTP connection:
+// keep-alive request/response without a per-connection process. Responses
+// queue FIFO through a single pooled timer thunk, so pipelined requests on
+// one connection answer in arrival order.
+type HTTPServerConn struct {
+	conn    *Conn
+	handler HTTPAsyncHandler
+	pending []*HTTPResponse
+	head    int
+	sendFn  func() // lazily bound drain thunk for RespondAfter
+}
+
+// ServeHTTPAsync installs a callback-mode request/response server on port:
+// the process-free counterpart of ServeHTTP. Each connection costs one
+// HTTPServerConn allocation instead of a goroutine, channel, and promise.
+func (h *Host) ServeHTTPAsync(port int, handler HTTPAsyncHandler) *Listener {
+	return h.ListenAsync(port, func(c *Conn) ConnHandler {
+		return &HTTPServerConn{conn: c, handler: handler}
+	})
+}
+
+// ConnEstablished implements ConnHandler (server connections are born
+// established; nothing to do).
+func (sc *HTTPServerConn) ConnEstablished(c *Conn, ok bool) {}
+
+// ConnMessage implements ConnHandler: dispatch one request to the handler.
+func (sc *HTTPServerConn) ConnMessage(c *Conn, payload any) {
+	req, ok := payload.(*HTTPRequest)
+	if !ok {
+		return
+	}
+	sc.handler(sc, req)
+}
+
+// ConnClosed implements ConnHandler.
+func (sc *HTTPServerConn) ConnClosed(c *Conn) {}
+
+// Respond sends a response immediately. The response object may be shared
+// across connections; it is not mutated (sub-minimum sizes are clamped on
+// the wire, not in place).
+func (sc *HTTPServerConn) Respond(resp *HTTPResponse) {
+	if resp == nil {
+		resp = &HTTPResponse{Status: 500, Size: minWireSize}
+	}
+	size := resp.Size
+	if size < minWireSize {
+		size = minWireSize
+	}
+	sc.conn.Send(size, resp)
+}
+
+// RespondAfter sends a response after d of service time, keeping FIFO order
+// with other delayed responses on the connection (constant per-behavior
+// delays plus pooled timer events preserve arrival order).
+func (sc *HTTPServerConn) RespondAfter(d time.Duration, resp *HTTPResponse) {
+	if d <= 0 {
+		sc.Respond(resp)
+		return
+	}
+	if sc.sendFn == nil {
+		sc.sendFn = sc.sendPending
+	}
+	sc.pending = append(sc.pending, resp)
+	sc.conn.host.net.K.AfterFree(d, sc.sendFn)
+}
+
+func (sc *HTTPServerConn) sendPending() {
+	resp := sc.pending[sc.head]
+	sc.pending[sc.head] = nil
+	sc.head++
+	if sc.head == len(sc.pending) {
+		sc.pending = sc.pending[:0]
+		sc.head = 0
+	}
+	sc.Respond(resp)
+}
+
 // HTTPResult is one client-side measurement, mirroring the timecurl.sh
 // fields: connect time (TCP handshake) and total time (handshake through
 // last response byte).
@@ -97,4 +179,72 @@ func (h *Host) HTTPGet(p *sim.Proc, dst Addr, port int, req *HTTPRequest, timeou
 		Connect: connect,
 		Total:   h.net.K.Now() - start,
 	}, nil
+}
+
+// httpCall is the client state of one HTTPGetAsync: it is the connection's
+// ConnHandler, so the whole measured request costs one allocation beyond the
+// connection itself.
+type httpCall struct {
+	h       *Host
+	c       *Conn
+	start   sim.Time
+	connect time.Duration
+	req     *HTTPRequest
+	timer   *sim.Event
+	done    func(*HTTPResult, error)
+	settled bool
+}
+
+// HTTPGetAsync performs the same measured request as HTTPGet — dial, send,
+// receive, close — without a blocking process: done is invoked inside the
+// completion event. timeout zero waits forever. This is the replay engine's
+// hot path; it allocates a handful of objects per request instead of the
+// process, channel, and promise machinery of the blocking version.
+func (h *Host) HTTPGetAsync(dst Addr, port int, req *HTTPRequest, timeout time.Duration, done func(*HTTPResult, error)) {
+	call := &httpCall{h: h, start: h.net.K.Now(), req: req, done: done}
+	call.c = h.DialAsync(dst, port, call)
+	if timeout > 0 {
+		call.timer = h.net.K.After(timeout, func() { call.finish(nil, ErrTimeout) })
+	}
+}
+
+// ConnEstablished implements ConnHandler: send the request.
+func (call *httpCall) ConnEstablished(c *Conn, ok bool) {
+	if !ok {
+		call.finish(nil, ErrConnRefused)
+		return
+	}
+	call.connect = time.Duration(call.h.net.K.Now() - call.start)
+	size := call.req.Size
+	if size < minWireSize {
+		size = minWireSize
+	}
+	c.Send(size, call.req)
+}
+
+// ConnMessage implements ConnHandler: the response completes the call.
+func (call *httpCall) ConnMessage(c *Conn, payload any) {
+	resp, _ := payload.(*HTTPResponse)
+	call.finish(&HTTPResult{
+		Resp:    resp,
+		Connect: call.connect,
+		Total:   time.Duration(call.h.net.K.Now() - call.start),
+	}, nil)
+}
+
+// ConnClosed implements ConnHandler: a close before the response is an error.
+func (call *httpCall) ConnClosed(c *Conn) {
+	call.finish(nil, ErrConnClosed)
+}
+
+func (call *httpCall) finish(res *HTTPResult, err error) {
+	if call.settled {
+		return
+	}
+	call.settled = true
+	if call.timer != nil {
+		call.timer.Cancel()
+	}
+	call.c.Close()
+	call.done(res, err)
 }

@@ -252,7 +252,7 @@ func (rs *Regions) RegisterCatalogService(region int, key string) (*spec.Annotat
 			b = cb
 		}
 	}
-	origin.ServeHTTP(reg.Port, b.Handler())
+	origin.ServeHTTPAsync(reg.Port, b.AsyncHandler())
 	rs.origins[a.UniqueName] = origin
 	return a, reg, nil
 }

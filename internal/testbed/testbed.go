@@ -513,7 +513,7 @@ func (tb *Testbed) createCloudOrigin(a *spec.Annotated, reg spec.Registration, k
 			b = cb
 		}
 	}
-	origin.ServeHTTP(reg.Port, b.Handler())
+	origin.ServeHTTPAsync(reg.Port, b.AsyncHandler())
 	tb.origins[a.UniqueName] = origin
 }
 
@@ -528,6 +528,14 @@ func (tb *Testbed) Origin(uniqueName string) (*simnet.Host, bool) {
 // timeout 0 waits forever (on-demand with waiting).
 func (tb *Testbed) Request(p *sim.Proc, cli int, reg spec.Registration, key string, timeout time.Duration) (*simnet.HTTPResult, error) {
 	return tb.Clients[cli].HTTPGet(p, reg.VIP, reg.Port, catalog.Request(key), timeout)
+}
+
+// RequestAsync issues the same measured request as Request without blocking
+// a process: done runs inside the completion event. This is the replay
+// engine's hot path — both replay strategies route through it, which is what
+// keeps them bit-identical to each other.
+func (tb *Testbed) RequestAsync(cli int, reg spec.Registration, key string, timeout time.Duration, done func(*simnet.HTTPResult, error)) {
+	tb.Clients[cli].HTTPGetAsync(reg.VIP, reg.Port, catalog.Request(key), timeout, done)
 }
 
 // ClusterByKind returns the testbed cluster of the given kind (nil if not

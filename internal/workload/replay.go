@@ -7,6 +7,7 @@ import (
 	"transparentedge/internal/metrics"
 	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
 	"transparentedge/internal/testbed"
 )
@@ -195,7 +196,9 @@ func ReplayWith(tb *testbed.Testbed, trace *Trace, serviceKey string, opts Optio
 
 // replayGoroutines is the legacy strategy: one process per request, spawned
 // up front and parked until its arrival time. O(trace) goroutines and parked
-// stacks — kept behind Options.GoroutinePerRequest for parity checking.
+// stacks — kept behind Options.GoroutinePerRequest for parity checking. The
+// request itself runs on the same callback core as the event strategy (the
+// process just awaits its completion), so the two stay bit-identical.
 func replayGoroutines(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time], ro replayObs) {
 	firstSeen := make(map[int]bool, trace.Config.Services)
@@ -210,7 +213,16 @@ func replayGoroutines(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 			p.SleepUntil(t0 + r.At)
 			at := p.Now()
 			ro.in.Add(1)
-			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout)
+			pr := sim.NewPromise[*simnet.HTTPResult](tb.K)
+			tb.RequestAsync(r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout,
+				func(hr *simnet.HTTPResult, err error) {
+					if err != nil {
+						pr.Fail(err)
+						return
+					}
+					pr.Resolve(hr)
+				})
+			hr, err := pr.Await(p)
 			ro.in.Add(-1)
 			ro.request(at, p.Now(), serviceKey, err)
 			if err != nil {
@@ -227,8 +239,9 @@ func replayGoroutines(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 
 // replayEvents is the event-driven strategy: once preparation resolves, the
 // whole arrival schedule is staged as a monotone event batch (O(n), no
-// heap churn) and each request's process is spawned lazily at its arrival
-// time, so peak memory tracks in-flight requests instead of trace length.
+// heap churn) and each request runs on the callback-mode request core — no
+// process, channel, or promise per request — so peak memory tracks in-flight
+// requests and the steady-state request path stays under ten allocations.
 func replayEvents(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 	regs []spec.Registration, serviceKey string, opts Options, prepDone *sim.Promise[sim.Time], ro replayObs) {
 	firstSeen := make(map[int]bool, trace.Config.Services)
@@ -245,27 +258,25 @@ func replayEvents(tb *testbed.Testbed, trace *Trace, res *ReplayResult,
 		inFlight++
 		ro.in.Add(1)
 		r := trace.Requests[i]
-		tb.K.Go("replay", func(p *sim.Proc) {
-			defer func() {
+		tb.RequestAsync(r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout,
+			func(hr *simnet.HTTPResult, err error) {
 				inFlight--
 				ro.in.Add(-1)
+				ro.request(at, tb.K.Now(), serviceKey, err)
+				if err != nil {
+					res.Errors++
+				} else {
+					res.Totals.Add(at, hr.Total)
+					if isFirst[i] {
+						res.FirstRequests.Add(at, hr.Total)
+					}
+				}
 				if len(queued) > 0 && (opts.MaxInFlight <= 0 || inFlight < opts.MaxInFlight) {
 					next := queued[0]
 					queued = queued[1:]
-					start(next, p.Now())
+					start(next, tb.K.Now())
 				}
-			}()
-			hr, err := tb.Request(p, r.Client%len(tb.Clients), regs[r.Service], serviceKey, opts.RequestTimeout)
-			ro.request(at, p.Now(), serviceKey, err)
-			if err != nil {
-				res.Errors++
-				return
-			}
-			res.Totals.Add(at, hr.Total)
-			if isFirst[i] {
-				res.FirstRequests.Add(at, hr.Total)
-			}
-		})
+			})
 	}
 
 	prepDone.OnDone(func(t0 sim.Time, _ error) {

@@ -1,0 +1,185 @@
+// Command benchcompare diffs two Go benchmark result files when benchstat
+// is not installed. It understands both the plain `go test -bench` text
+// format and the `go test -json` event stream `make bench` stores in
+// BENCH_*.json, and compares every benchmark present in both inputs
+// metric by metric (ns/op, B/op, allocs/op, and custom ReportMetric
+// units).
+//
+// Usage:
+//
+//	benchcompare OLD NEW      # print old -> new deltas per benchmark
+//	benchcompare -totext FILE # convert a -json stream to plain bench text
+//	                          # (feed a stored baseline to benchstat)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line: name, iteration count,
+// then value/unit pairs. The -N GOMAXPROCS suffix is stripped so runs
+// from machines with different core counts still line up.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// metrics maps unit -> value for one benchmark.
+type metrics map[string]float64
+
+// parseFile extracts benchmark results from path, transparently decoding
+// a `go test -json` stream (every line a JSON event whose Output fields
+// carry fragments of the original text) or plain bench output. A result
+// line is often split across several events — the harness prints the
+// benchmark name, runs it, then prints the numbers — so the stream's
+// Output fragments are concatenated back into text before line parsing.
+// It returns the results keyed by benchmark name plus the names in
+// first-seen order.
+func parseFile(path string) (map[string]metrics, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct {
+				Action string
+				Output string
+			}
+			if json.Unmarshal([]byte(line), &ev) != nil || ev.Action != "output" {
+				continue
+			}
+			text.WriteString(ev.Output)
+			continue
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	results := make(map[string]metrics)
+	var order []string
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if _, seen := results[name]; !seen {
+			results[name] = make(metrics)
+			order = append(order, name)
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			results[name][fields[i+1]] = v
+		}
+	}
+	return results, order, nil
+}
+
+// toText re-emits a stored result file as plain bench text (for piping a
+// -json baseline into benchstat).
+func toText(path string) error {
+	results, order, err := parseFile(path)
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		m := results[name]
+		units := make([]string, 0, len(m))
+		for u := range m {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s 1", name)
+		for _, u := range units {
+			fmt.Fprintf(&b, " %v %s", m[u], u)
+		}
+		fmt.Println(b.String())
+	}
+	return nil
+}
+
+func compare(oldPath, newPath string) error {
+	oldR, _, err := parseFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, order, err := parseFile(newPath)
+	if err != nil {
+		return err
+	}
+	if len(newR) == 0 {
+		return fmt.Errorf("no benchmark results in %s", newPath)
+	}
+	fmt.Printf("baseline: %s\nhead:     %s\n", oldPath, newPath)
+	for _, name := range order {
+		fmt.Printf("\n%s\n", name)
+		base, ok := oldR[name]
+		if !ok {
+			fmt.Println("  (no baseline)")
+			continue
+		}
+		units := make([]string, 0, len(newR[name]))
+		for u := range newR[name] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			nv := newR[name][u]
+			ov, has := base[u]
+			if !has {
+				fmt.Printf("  %-18s %14s -> %-14s\n", u, "(none)", trim(nv))
+				continue
+			}
+			delta := "  ~  "
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Printf("  %-18s %14s -> %-14s %s\n", u, trim(ov), trim(nv), delta)
+		}
+	}
+	return nil
+}
+
+// trim renders a metric value compactly (no trailing zeros).
+func trim(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func main() {
+	asText := flag.Bool("totext", false, "convert a go test -json stream to plain bench text on stdout")
+	flag.Parse()
+	var err error
+	switch {
+	case *asText && flag.NArg() == 1:
+		err = toText(flag.Arg(0))
+	case !*asText && flag.NArg() == 2:
+		err = compare(flag.Arg(0), flag.Arg(1))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchcompare OLD NEW  |  benchcompare -totext FILE")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const jsonStream = `{"Action":"run","Test":"BenchmarkReplayScale_10k"}
+{"Action":"output","Output":"BenchmarkReplayScale_10k  \t"}
+{"Action":"output","Output":"       1\t 174000000 ns/op\t        29.46 allocs/request\t     12368 series_bytes\n"}
+{"Action":"output","Output":"not a benchmark line\n"}
+{"Action":"output","Output":"BenchmarkReplayShard/serial-4 \t       1\t 14029107160 ns/op\t        18.31 allocs/request\n"}
+`
+
+const plainText = `goos: linux
+BenchmarkReplayScale_10k 	       2	 120000000 ns/op	         8.66 allocs/request	     12368 series_bytes
+BenchmarkReplayShard/serial 	       1	 13594000000 ns/op	        18.20 allocs/request
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The parser must read both stored -json streams and plain bench text,
+// strip the -N GOMAXPROCS suffix, and keep every value/unit pair.
+func TestParseBothFormats(t *testing.T) {
+	fromJSON, order, err := parseFile(writeTemp(t, "base.json", jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("parsed %d benchmarks from json stream, want 2 (%v)", len(order), order)
+	}
+	if got := fromJSON["BenchmarkReplayScale_10k"]["allocs/request"]; got != 29.46 {
+		t.Fatalf("allocs/request = %v, want 29.46", got)
+	}
+	if _, ok := fromJSON["BenchmarkReplayShard/serial"]; !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", order)
+	}
+
+	fromText, _, err := parseFile(writeTemp(t, "head.txt", plainText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fromText["BenchmarkReplayScale_10k"]["ns/op"]; got != 120000000 {
+		t.Fatalf("ns/op = %v, want 120000000", got)
+	}
+}
+
+// compare must accept a json baseline against a text head without error
+// (the exact rendering is informational).
+func TestCompareJSONAgainstText(t *testing.T) {
+	base := writeTemp(t, "base.json", jsonStream)
+	head := writeTemp(t, "head.txt", plainText)
+	if err := compare(base, head); err != nil {
+		t.Fatal(err)
+	}
+}
