@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard race-steer bench bench-10m bench-compare fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard race-steer race-mobility bench bench-10m bench-compare fuzz experiments examples clean
 
 all: check
 
@@ -11,9 +11,10 @@ all: check
 # worker-pool code, the sim kernel it drives, the fault-injection
 # sweep with its serial-vs-parallel fingerprint parity check, the
 # observability layer's zero-overhead/determinism invariants, the
-# sharded kernel's cross-shard fingerprint parity, and the steering
-# backends' cross-backend parity and table-pressure accounting).
-check: fmt build vet test race race-hot race-faults race-obs race-shard race-steer
+# sharded kernel's cross-shard fingerprint parity, the steering
+# backends' cross-backend parity and table-pressure accounting, and the
+# mobility/handover path's gap accounting and shard parity).
+check: fmt build vet test race race-hot race-faults race-obs race-shard race-steer race-mobility
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -63,6 +64,17 @@ race-steer:
 	$(GO) test -race -count 1 -run 'TestTablePressure' ./internal/openflow
 	$(GO) test -race -count 1 ./internal/srsteer
 
+# Mobility gate under the race detector: the handover-path correctness
+# tests (mid-dispatch handover, remnant-pair re-anchor, severed-link drop
+# semantics), the mobility sweep's backend comparison, and its sharded
+# fingerprint parity at every shard count.
+race-mobility:
+	$(GO) test -race -count 1 -run 'TestHandover|TestStatelessHandover|TestClientMobility' ./internal/core
+	$(GO) test -race -count 1 -run 'TestReAnchor|TestReverseNotification' ./internal/steer
+	$(GO) test -race -count 1 -run 'TestDetach|TestSevered' ./internal/simnet
+	$(GO) test -race -count 1 -run 'TestGenerateHandovers' ./internal/workload
+	$(GO) test -race -count 1 -run 'TestMobility' ./internal/experiments
+
 # Regenerate every table and figure of the paper (plus ablations) and the
 # scale benchmarks, recording machine-readable results. The replay-engine
 # sweep (10k/100k/1M requests) lands in BENCH_replay.json; the parallel
@@ -75,6 +87,7 @@ bench:
 	$(GO) test -json -bench 'BenchmarkSteerBackends' -benchmem -benchtime 1x -run '^$$' . > BENCH_steer.json
 	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
 	$(GO) run ./cmd/edgesim -json scale-faults > BENCH_faults.json
+	$(GO) run ./cmd/edgesim -json scale-mobility > BENCH_mobility.json
 
 # Opt-in paper-scale gate: the 10M-request sharded replay (multi-minute on
 # small machines; on >= 8 cores it should land near the serial engine's 1M

@@ -265,6 +265,9 @@ Experiments (each reproduces one table/figure of the paper):
   scale-steer       steering backend comparison: per-flow openflow rules vs
                     stateless SRv6-style ingress encoding over a client-count
                     axis (-replay-requests, -backend, -json)
+  scale-mobility    handover comparison under client mobility: continuity gap
+                    and flow-mod churn per backend across handover rates, with
+                    sharded fingerprint parity (-replay-requests, -backend)
   sweep             parallel with/without-waiting sweep across seeds
                     (-sweep-seeds, -sweep-requests, -procs, -json)
   scale-faults      deterministic fault-injection sweep: retries, next-best
@@ -300,7 +303,7 @@ func runExperiment(which string) error {
 		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
 			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
-			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard", "scale-steer"} {
+			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard", "scale-steer", "scale-mobility"} {
 			if err := runExperiment(w); err != nil {
 				return fmt.Errorf("%s: %w", w, err)
 			}
@@ -481,6 +484,20 @@ func runExperiment(which string) error {
 			return emitJSON(out)
 		}
 		fmt.Print(edge.RunSteerSweep(*seed, *replayRequests, backends, o.options()...).String())
+	case "scale-mobility":
+		backends, err := parseBackends(*steerBackend)
+		if err != nil {
+			return err
+		}
+		limitProcs()
+		if *asJSON {
+			out := edge.RunMobilitySweep(*seed, *replayRequests, backends, o.options()...).JSON()
+			if err := o.finish(false); err != nil {
+				return err
+			}
+			return emitJSON(out)
+		}
+		fmt.Print(edge.RunMobilitySweep(*seed, *replayRequests, backends, o.options()...).String())
 	case "sweep":
 		vs := edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs)
 		attachVariantObs(vs, o)

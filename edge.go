@@ -370,6 +370,16 @@ func RunSteerSweep(seed int64, requests int, backends []string, options ...Exper
 	return experiments.SteerSweepBackends(seed, requests, backends, options...)
 }
 
+// RunMobilitySweep replays the scale trace under client mobility on the
+// gNB-cell topology, comparing the steering backends' continuity gap and
+// flow-mod churn across handover rates (the Fondo-Ferreiro comparison), and
+// gates each backend's sharded mobility replay on fingerprint parity at
+// shard counts {1,2,4,8}. backends nil/empty compares all built-in
+// backends.
+func RunMobilitySweep(seed int64, requests int, backends []string, options ...ExperimentOption) experiments.MobilitySweepResult {
+	return experiments.MobilitySweepBackends(seed, requests, backends, options...)
+}
+
 // Sweep engine types: many independent scenario variants, each on a private
 // kernel, sharded across a worker pool (DESIGN.md §10).
 type (

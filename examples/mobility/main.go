@@ -90,9 +90,15 @@ func main() {
 		res, _ = ue.HTTPGet(p, "203.0.113.10", 80, catalog.Request(edge.Nginx), 0)
 		fmt.Printf("at gnb1: next request  %v\n", res.Total)
 
-		// Handover: the UE attaches to gnb2; routing follows.
-		gnb2.AttachHost(ue, 2, simnet.LinkConfig{Latency: 150 * time.Microsecond, Bandwidth: simnet.Gbps})
+		// Handover: the old radio link is severed (any in-flight packets on
+		// it are dropped and counted), the UE re-attaches behind gnb2,
+		// routing follows, and the controller migrates its steering state.
+		gnb1.DetachPort(2)
+		_, np := ue.MoveTo(gnb2, simnet.LinkConfig{Latency: 150 * time.Microsecond, Bandwidth: simnet.Gbps})
+		gnb2.AddPort(2, np)
+		gnb2.SetRoute(ue.IP(), 2)
 		gnb1.SetRoute(ue.IP(), 10)
+		ctrl.NoteHandover(ue.IP(), gnb2, 2)
 		fmt.Println("--- handover: ue now behind gnb2 ---")
 
 		res, err = ue.HTTPGet(p, "203.0.113.10", 80, catalog.Request(edge.Nginx), 0)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"transparentedge/internal/cluster"
+	"transparentedge/internal/metrics"
 	"transparentedge/internal/obs"
 	"transparentedge/internal/openflow"
 	"transparentedge/internal/sim"
@@ -174,6 +175,11 @@ type Stats struct {
 	// ScaleDownFailures counts idle-instance scale-downs that returned an
 	// error (previously silently dropped).
 	ScaleDownFailures uint64
+	// Handovers counts NoteHandover calls; HandoverReAnchors counts flows
+	// re-anchored eagerly at handover time (stateless backends only —
+	// rule-based backends re-anchor lazily at the next packet-in).
+	Handovers         uint64
+	HandoverReAnchors uint64
 }
 
 // ctrlCounters are the controller's resolved obs counter handles. With no
@@ -188,6 +194,8 @@ type ctrlCounters struct {
 	deployments       *obs.Counter
 	redirections      *obs.Counter
 	scaleDownFailures *obs.Counter
+	handovers         *obs.Counter
+	reanchors         *obs.Counter
 }
 
 // Controller is the SDN controller: it owns the registered services, the
@@ -213,6 +221,13 @@ type Controller struct {
 	records      []DeployRecord
 	recHead      int // ring start once records is at MaxDeployRecords
 	clientLoc    map[simnet.Addr]ClientLocation
+	// pendingHO records handovers a rule-based backend has not yet resolved
+	// (see handover.go); gaps collects one continuity-gap sample per
+	// resolved handover of a client with live flows. transit holds the
+	// switches attached without punt rules (AddTransitSwitch).
+	pendingHO map[simnet.Addr]pendingHandover
+	gaps      *metrics.Hist
+	transit   []*openflow.Switch
 	// steerB is the pluggable data-plane mechanism (DESIGN.md §14): the
 	// per-flow rule installer by default, or the stateless SRv6-style
 	// backend. All install/uninstall/GC flows through it.
@@ -277,6 +292,8 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 		byName:     make(map[string]*spec.Annotated),
 		regByName:  make(map[string]spec.Registration),
 		clientLoc:  make(map[simnet.Addr]ClientLocation),
+		pendingHO:  make(map[simnet.Addr]pendingHandover),
+		gaps:       metrics.NewHist("continuity_gap"),
 	}
 	if c.cfg.RuntimeClassKinds == nil {
 		c.cfg.RuntimeClassKinds = map[string][]string{
@@ -309,7 +326,7 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 		// HandleFlowRemoved does for rule-based backends.
 		OnExpired: func(f steer.Flow) {
 			if c.Memory.ClientFlows(f.Client) == 0 {
-				delete(c.clientLoc, f.Client)
+				c.dropHandoverState(f.Client)
 			}
 		},
 		Counters: cfg.Counters,
@@ -332,6 +349,8 @@ func New(k *sim.Kernel, probeHost *simnet.Host, cfg Config) *Controller {
 			deployments:       reg.Counter("deploy_performed_total"),
 			redirections:      reg.Counter("dispatch_redirections_total"),
 			scaleDownFailures: reg.Counter("deploy_scale_down_failures_total"),
+			handovers:         reg.Counter("handover_events_total"),
+			reanchors:         reg.Counter("handover_reanchors_total"),
 		}
 		c.Memory.SetObs(reg)
 	}
@@ -447,7 +466,7 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 	c.ctr.packetIns.Inc()
 	// The previous location is captured before the update: a memory hit at
 	// a different switch is a handover and re-anchors the steering state.
-	prev, hadPrev := c.clientLoc[pkt.SrcIP]
+	prev := c.clientLoc[pkt.SrcIP]
 	c.clientLoc[pkt.SrcIP] = ClientLocation{Switch: ev.Switch, InPort: ev.InPort, SeenAt: c.k.Now()}
 	svc, ok := c.services[addrPort{pkt.DstIP, pkt.DstPort}]
 	if !ok {
@@ -465,11 +484,19 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 		// re-anchored there and the stale switch's state released eagerly.
 		c.Stats.MemoryServed++
 		c.ctr.memoryServed.Inc()
-		if hadPrev && prev.Switch != ev.Switch {
-			c.steerB.ReAnchor(prev.Switch, ev.Switch, steer.Flow(fk), steer.Endpoint{Addr: inst.Addr, Port: inst.Port})
+		// After an explicit NoteHandover the location record already points
+		// at this switch, so the stale anchor — where the rules actually
+		// live — is the pending record's `from`, not prev.Switch.
+		from := prev.Switch
+		if ph, pending := c.pendingHO[pkt.SrcIP]; pending {
+			from = ph.from
+		}
+		if from != nil && from != ev.Switch {
+			c.steerB.ReAnchor(from, ev.Switch, steer.Flow(fk), steer.Endpoint{Addr: inst.Addr, Port: inst.Port})
 		} else {
 			c.installRedirect(ev.Switch, fk, inst)
 		}
+		c.resolveHandover(pkt.SrcIP)
 		ev.Switch.TableOut(pkt)
 		if tr := c.tr; tr != nil {
 			now := time.Duration(c.k.Now())
@@ -506,7 +533,7 @@ func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, rule *openflow.FlowR
 		return
 	}
 	if c.Memory.ClientFlows(f.Client) == 0 {
-		delete(c.clientLoc, f.Client)
+		c.dropHandoverState(f.Client)
 	}
 }
 
@@ -514,7 +541,7 @@ func (c *Controller) HandleFlowRemoved(sw *openflow.Switch, rule *openflow.FlowR
 // flow expired, so its location record is dropped (re-learned on the next
 // packet-in). Keeps clientLoc bounded by the set of active clients.
 func (c *Controller) onIdleClient(client simnet.Addr) {
-	delete(c.clientLoc, client)
+	c.dropHandoverState(client)
 }
 
 func (c *Controller) instanceAlive(inst cluster.Instance) bool {
@@ -645,8 +672,13 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 		c.Stats.CloudForwards++
 		c.ctr.cloudForwards.Inc()
 		c.emit(obs.Event{Kind: obs.EvCloudForward, Service: svc.UniqueName, Client: string(fk.Client)})
-		c.installCloudForward(ev.Switch, fk)
-		ev.Switch.TableOut(ev.Packet)
+		// Install — and release the held packet — at the client's *current*
+		// switch: the client may have handed over while dispatch ran, and a
+		// rule at the packet-in switch would be orphaned at the old location.
+		sw := c.currentSwitch(fk.Client, ev.Switch)
+		c.installCloudForward(sw, fk)
+		c.resolveHandover(fk.Client)
+		sw.TableOut(ev.Packet)
 		if tr != nil {
 			now := time.Duration(p.Now())
 			tr.Emit(obs.Span{Parent: root, Root: root, Name: "cloud_forward", Cat: "dispatch", Start: now, End: now})
@@ -673,8 +705,10 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 			c.Stats.CloudFallbacks++
 			c.ctr.cloudForwards.Inc()
 			c.ctr.cloudFallbacks.Inc()
-			c.installCloudForward(ev.Switch, fk)
-			ev.Switch.TableOut(ev.Packet)
+			sw := c.currentSwitch(fk.Client, ev.Switch)
+			c.installCloudForward(sw, fk)
+			c.resolveHandover(fk.Client)
+			sw.TableOut(ev.Packet)
 			if tr != nil {
 				now := time.Duration(p.Now())
 				tr.Emit(obs.Span{Parent: root, Root: root, Name: "cloud_forward", Cat: "dispatch",
@@ -689,8 +723,13 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 		}
 		inst = c.pickInstance(target, fk.Client, inst)
 		c.Memory.Put(fk, inst)
-		c.installRedirect(ev.Switch, fk, inst)
-		ev.Switch.TableOut(ev.Packet)
+		// Re-read the client's location: a handover during the deployment
+		// means the rules and the held packet belong at the new switch, not
+		// the one that punted the packet (which the client already left).
+		sw := c.currentSwitch(fk.Client, ev.Switch)
+		c.installRedirect(sw, fk, inst)
+		c.resolveHandover(fk.Client)
+		sw.TableOut(ev.Packet)
 		if tr != nil {
 			now := time.Duration(p.Now())
 			tr.Emit(obs.Span{Parent: root, Root: root, Name: "flow_install", Cat: "dispatch",

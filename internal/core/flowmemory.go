@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"transparentedge/internal/cluster"
@@ -40,14 +41,16 @@ type instanceKey struct {
 // by flow key (Get/Put), by instance endpoint (InstanceFlows, the load
 // signal), and by service name (RedirectService re-points only that
 // service's entries instead of walking the whole memory). A per-client
-// count additionally drives the dispatcher's location-record GC.
+// index additionally drives the dispatcher's location-record GC and the
+// handover path's re-anchoring (ClientEntries walks only the moving
+// client's flows).
 type FlowMemory struct {
 	k          *sim.Kernel
 	idle       time.Duration
 	entries    map[FlowKey]*MemEntry
 	perInst    map[instanceKey]int
 	perService map[string]map[*MemEntry]struct{}
-	perClient  map[simnet.Addr]int
+	perClient  map[simnet.Addr]map[*MemEntry]struct{}
 	// draining marks instances with a scale-down in flight; the value flips
 	// to true when a flow is pointed at the instance mid-drain (see
 	// BeginDrain / EndDrain).
@@ -90,7 +93,7 @@ func NewFlowMemory(k *sim.Kernel, idle time.Duration) *FlowMemory {
 		entries:    make(map[FlowKey]*MemEntry),
 		perInst:    make(map[instanceKey]int),
 		perService: make(map[string]map[*MemEntry]struct{}),
-		perClient:  make(map[simnet.Addr]int),
+		perClient:  make(map[simnet.Addr]map[*MemEntry]struct{}),
 	}
 }
 
@@ -104,7 +107,29 @@ func (m *FlowMemory) InstanceFlows(inst cluster.Instance) int {
 
 // ClientFlows returns how many memorized flows a client currently has.
 func (m *FlowMemory) ClientFlows(client simnet.Addr) int {
-	return m.perClient[client]
+	return len(m.perClient[client])
+}
+
+// ClientEntries returns a snapshot of the client's memorized flows, sorted
+// by service address — the deterministic iteration order the handover path
+// needs when re-anchoring a moving client's flows (map order would make
+// sharded runs diverge).
+func (m *FlowMemory) ClientEntries(client simnet.Addr) []MemEntry {
+	set := m.perClient[client]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]MemEntry, 0, len(set))
+	for e := range set {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.VIP != out[j].Key.VIP {
+			return out[i].Key.VIP < out[j].Key.VIP
+		}
+		return out[i].Key.Port < out[j].Key.Port
+	})
+	return out
 }
 
 // ServiceFlows returns how many memorized flows point at any instance of
@@ -185,7 +210,12 @@ func (m *FlowMemory) Put(key FlowKey, inst cluster.Instance) {
 	m.attachService(e)
 	m.perInst[ik]++
 	m.noteAttach(ik)
-	m.perClient[key.Client]++
+	set := m.perClient[key.Client]
+	if set == nil {
+		set = make(map[*MemEntry]struct{})
+		m.perClient[key.Client] = set
+	}
+	set[e] = struct{}{}
 	m.gEntries.Set(int64(len(m.entries)))
 	m.scheduleExpiry(e)
 }
@@ -241,8 +271,9 @@ func (m *FlowMemory) remove(e *MemEntry) {
 	m.gEntries.Set(int64(len(m.entries)))
 	m.detachService(e)
 	m.decInstance(e.Instance)
-	m.perClient[e.Key.Client]--
-	if m.perClient[e.Key.Client] <= 0 {
+	set := m.perClient[e.Key.Client]
+	delete(set, e)
+	if len(set) == 0 {
 		delete(m.perClient, e.Key.Client)
 		if m.OnIdleClient != nil {
 			m.OnIdleClient(e.Key.Client)

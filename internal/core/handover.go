@@ -1,0 +1,141 @@
+package core
+
+import (
+	"time"
+
+	"transparentedge/internal/metrics"
+	"transparentedge/internal/obs"
+	"transparentedge/internal/openflow"
+	"transparentedge/internal/sim"
+	"transparentedge/internal/simnet"
+	"transparentedge/internal/steer"
+)
+
+// pendingHandover records a client handover (NoteHandover) a rule-based
+// backend has not yet resolved: the steering state is still anchored at
+// `from` until the client's next packet-in triggers a ReAnchor (or a
+// dispatch in flight installs at the new location). The gap between the
+// handover instant and that resolution is the continuity gap.
+type pendingHandover struct {
+	at   sim.Time
+	from *openflow.Switch
+}
+
+// AddTransitSwitch attaches the controller to a switch that only carries
+// traffic between access switches and the uplinks (the gNB topology's
+// aggregation switch). The steering backend hooks it (srsteer's ingress
+// decap runs wherever reverse traffic enters), but no packet-in punt rules
+// are installed — a cloud-forwarded packet whose destination is still the
+// VIP must transit toward the cloud, not bounce back to the controller.
+func (c *Controller) AddTransitSwitch(sw *openflow.Switch) {
+	c.transit = append(c.transit, sw)
+	sw.SetController(c)
+	c.steerB.AttachSwitch(sw)
+}
+
+// NoteHandover tells the controller a client moved to a new attachment
+// point — the simulation's stand-in for the 5G control plane's path-switch
+// notification (§IV-B: the dispatcher "tracks the clients' current
+// location"). The location record is updated immediately, so deployments
+// already in flight for the client install their rules and release their
+// held packet at the *new* switch.
+//
+// What happens to the client's existing steering state depends on the
+// backend. A stateless backend's bindings are valid at every switch, so the
+// handover is resolved on the spot: each memorized flow is re-anchored (a
+// pure binding refresh — zero flow-mods) and the continuity gap recorded is
+// zero. A rule-based backend must wait for the client's next packet-in at
+// the new switch to re-anchor (reactive SDN), so the handover is recorded
+// as pending and the continuity gap runs until that resolution.
+func (c *Controller) NoteHandover(client simnet.Addr, sw *openflow.Switch, inPort int) {
+	now := c.k.Now()
+	prev, hadPrev := c.clientLoc[client]
+	c.clientLoc[client] = ClientLocation{Switch: sw, InPort: inPort, SeenAt: now}
+	c.Stats.Handovers++
+	c.ctr.handovers.Inc()
+	if !hadPrev || prev.Switch == nil || prev.Switch == sw {
+		// Nothing is anchored anywhere else; only the location changed.
+		c.emit(obs.Event{Kind: obs.EvHandover, Client: string(client), Addr: sw.Name()})
+		return
+	}
+	entries := c.Memory.ClientEntries(client)
+	if c.steerB.Stateless() {
+		// Royer et al.'s headline: with ingress encoding the handover is a
+		// binding refresh. Every switch already consults the shared table,
+		// so the session continues without interruption — gap zero, now.
+		for _, e := range entries {
+			c.steerB.ReAnchor(prev.Switch, sw, steer.Flow(e.Key),
+				steer.Endpoint{Addr: e.Instance.Addr, Port: e.Instance.Port})
+		}
+		c.Stats.HandoverReAnchors += uint64(len(entries))
+		c.ctr.reanchors.Add(uint64(len(entries)))
+		if len(entries) > 0 {
+			c.recordGap(client, now, now)
+		}
+		c.emit(obs.Event{Kind: obs.EvHandover, Client: string(client), Addr: sw.Name(), N: len(entries)})
+		return
+	}
+	if len(entries) > 0 {
+		// Rules live at the old switch until the next packet-in re-anchors
+		// them. A repeated handover before any packet keeps the original
+		// anchor (that is where the rules still are) and restarts the gap
+		// clock — an idle client suffers no continuity gap.
+		ph := pendingHandover{at: now, from: prev.Switch}
+		if old, ok := c.pendingHO[client]; ok {
+			ph.from = old.from
+		}
+		c.pendingHO[client] = ph
+	}
+	c.emit(obs.Event{Kind: obs.EvHandover, Client: string(client), Addr: sw.Name()})
+}
+
+// currentSwitch returns the switch a client is attached to right now,
+// falling back to the packet-in's switch when the client has no location
+// record. Deployment paths call it at install time — not packet-in time —
+// so a client that handed over while its deployment ran gets its rules and
+// its held packet at the switch it actually sits behind.
+func (c *Controller) currentSwitch(client simnet.Addr, fallback *openflow.Switch) *openflow.Switch {
+	if loc, ok := c.clientLoc[client]; ok && loc.Switch != nil {
+		return loc.Switch
+	}
+	return fallback
+}
+
+// resolveHandover closes a pending handover after a steering action for the
+// client at its new attachment point: the continuity gap is the time the
+// client's sessions spent anchored at a switch it had already left.
+func (c *Controller) resolveHandover(client simnet.Addr) {
+	ph, ok := c.pendingHO[client]
+	if !ok {
+		return
+	}
+	delete(c.pendingHO, client)
+	c.recordGap(client, ph.at, c.k.Now())
+}
+
+// recordGap records one continuity-gap sample and its handover span.
+func (c *Controller) recordGap(client simnet.Addr, start, end sim.Time) {
+	c.gaps.Add(time.Duration(start), time.Duration(end-start))
+	if tr := c.tr; tr != nil {
+		id := tr.NextID()
+		tr.Emit(obs.Span{ID: id, Root: id, Name: "handover", Cat: "handover",
+			Detail: string(client), Start: time.Duration(start), End: time.Duration(end)})
+	}
+}
+
+// dropHandoverState forgets a client's pending-handover record alongside
+// its location record, keeping both maps bounded by the active client set.
+func (c *Controller) dropHandoverState(client simnet.Addr) {
+	delete(c.clientLoc, client)
+	delete(c.pendingHO, client)
+}
+
+// ContinuityGaps returns the per-handover continuity-gap histogram: one
+// sample per resolved handover of a client with live flows (zero for
+// stateless backends — resolution is immediate). The Fondo-Ferreiro metric
+// the mobility experiments report.
+func (c *Controller) ContinuityGaps() *metrics.Hist { return c.gaps }
+
+// PendingHandovers returns how many clients currently await re-anchoring
+// (diagnostics; bounded like clientLoc).
+func (c *Controller) PendingHandovers() int { return len(c.pendingHO) }

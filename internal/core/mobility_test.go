@@ -13,6 +13,7 @@ import (
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
+	"transparentedge/internal/steer"
 )
 
 const nginxYAML = `
@@ -40,6 +41,13 @@ type mobilityRig struct {
 }
 
 func newMobilityRig(t *testing.T) *mobilityRig {
+	t.Helper()
+	return newMobilityRigWith(t, nil)
+}
+
+// newMobilityRigWith builds the rig with an explicit steering backend (nil =
+// the default per-flow openflow rules).
+func newMobilityRigWith(t *testing.T, steering steer.Steering) *mobilityRig {
 	t.Helper()
 	k := sim.New(1)
 	n := simnet.NewNetwork(k)
@@ -82,6 +90,7 @@ func newMobilityRig(t *testing.T) *mobilityRig {
 	cfg := core.DefaultConfig()
 	cfg.Scheduler = core.WaitNearestScheduler{}
 	cfg.SwitchIdleTimeout = 30 * time.Second
+	cfg.Steering = steering
 	rg.ctrl = core.New(k, rg.egs, cfg)
 	rg.ctrl.AddSwitch(rg.gnb1)
 	rg.ctrl.AddSwitch(rg.gnb2)
@@ -89,11 +98,17 @@ func newMobilityRig(t *testing.T) *mobilityRig {
 	return rg
 }
 
-// moveClientToGnb2 re-homes the UE: a new radio link to gnb2, and routing
-// updates so both switches forward the client's address correctly.
+// moveClientToGnb2 re-homes the UE through the handover primitives: the old
+// radio link is severed (in-flight packets on it drop at their own events),
+// the client re-attaches behind gnb2, both switches' routes follow, and the
+// controller is told so steering state migrates too.
 func (rg *mobilityRig) moveClientToGnb2() {
-	rg.gnb2.AttachHost(rg.client, 2, simnet.LinkConfig{Latency: 150 * time.Microsecond, Bandwidth: simnet.Gbps})
+	rg.gnb1.DetachPort(2)
+	_, np := rg.client.MoveTo(rg.gnb2, simnet.LinkConfig{Latency: 150 * time.Microsecond, Bandwidth: simnet.Gbps})
+	rg.gnb2.AddPort(2, np)
+	rg.gnb2.SetRoute(rg.client.IP(), 2)
 	rg.gnb1.SetRoute(rg.client.IP(), 10) // now via the inter-switch link
+	rg.ctrl.NoteHandover(rg.client.IP(), rg.gnb2, 2)
 }
 
 func TestClientMobilityAcrossSwitches(t *testing.T) {

@@ -48,6 +48,10 @@ const (
 	// outcome (Service, Cluster, Err on failure).
 	EvProactiveDeploy
 	EvProactiveFailed
+	// EvHandover: a client moved to a new attachment point (Client, Addr =
+	// the new switch's name, N = memorized flows re-anchored eagerly — zero
+	// for rule-based backends, which re-anchor lazily at the next packet-in).
+	EvHandover
 )
 
 // Event is one structured controller event. Field meaning varies by Kind
@@ -103,6 +107,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s: proactive deployment to %s (predicted demand)", e.Service, e.Cluster)
 	case EvProactiveFailed:
 		return fmt.Sprintf("%s: proactive deployment failed: %v", e.Service, e.Err)
+	case EvHandover:
+		return fmt.Sprintf("handover: %s -> %s (%d flows re-anchored)", e.Client, e.Addr, e.N)
 	}
 	return fmt.Sprintf("event(kind=%d)", e.Kind)
 }

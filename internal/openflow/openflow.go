@@ -302,6 +302,28 @@ func (s *Switch) AttachHost(h *simnet.Host, num int, link simnet.LinkConfig) {
 	s.SetRoute(h.IP(), num)
 }
 
+// DetachPort forgets the port registered under num along with every route
+// through it — the switch side of a host handover. The link itself is not
+// touched here (the departing host severs it via Detach/MoveTo); the switch
+// merely stops routing through the dead port, so a later AddPort may reuse
+// the number (ping-pong handovers). Unknown port numbers are a no-op.
+func (s *Switch) DetachPort(num int) {
+	p, ok := s.ports[num]
+	if !ok {
+		return
+	}
+	delete(s.ports, num)
+	delete(s.portOf, p)
+	for ip, out := range s.routes {
+		if out == num {
+			delete(s.routes, ip)
+		}
+	}
+	if s.defaultOut == num {
+		s.defaultOut = -1
+	}
+}
+
 // SetRoute adds a NORMAL-forwarding route for ip via port num.
 func (s *Switch) SetRoute(ip simnet.Addr, num int) { s.routes[ip] = num }
 

@@ -46,6 +46,10 @@ type Host struct {
 	outq    []*Packet
 	outHead int
 	drainFn func()
+	// detached distinguishes a host that deliberately left its attachment
+	// point (Detach/MoveTo — sends drop deterministically) from one that was
+	// never wired up (sends panic, a topology bug).
+	detached bool
 }
 
 // NewHost creates a host with the given name and IP and registers it.
@@ -74,7 +78,12 @@ func (h *Host) Network() *Network { return h.net }
 
 // SetUplink attaches the host's single network port. Use after
 // Network.Connect: the port returned for this host becomes its uplink.
-func (h *Host) SetUplink(p *Port) { h.uplink = p }
+func (h *Host) SetUplink(p *Port) {
+	h.uplink = p
+	if p != nil {
+		h.detached = false
+	}
+}
 
 // Uplink returns the host's default output port.
 func (h *Host) Uplink() *Port { return h.uplink }
@@ -85,6 +94,35 @@ func (h *Host) AttachTo(sw Node, cfg LinkConfig) (hostPort, swPort *Port) {
 	hp, sp := h.net.Connect(h, sw, cfg)
 	h.SetUplink(hp)
 	return hp, sp
+}
+
+// Detach severs the host's uplink — the first half of a handover. The old
+// link is cut permanently: every packet already in flight on it (either
+// direction) is dropped at its next transfer event, counted, and returned
+// to the pool, and nothing is ever delivered from its ports again. Packets
+// still inside the host's own ProcDelay stage have not left the stack yet;
+// they go out the new uplink if one is attached by their drain time, and
+// are dropped (counted, pooled) otherwise. Detaching a detached host is a
+// no-op.
+func (h *Host) Detach() {
+	if h.uplink == nil {
+		return
+	}
+	h.uplink.link.severed = true
+	h.uplink = nil
+	h.detached = true
+}
+
+// MoveTo re-attaches the host to a new node in one step — the simnet
+// primitive under a UE handover. It severs the current uplink (see Detach
+// for the in-flight packet semantics) and connects a fresh link to the new
+// attachment point, returning both ends. Established connections survive:
+// they are addressed, not port-bound, so traffic resumes over the new link
+// as soon as the peers' routes catch up (the switch-side rewiring is the
+// caller's job — see testbed.Handover).
+func (h *Host) MoveTo(to Node, cfg LinkConfig) (hostPort, peerPort *Port) {
+	h.Detach()
+	return h.AttachTo(to, cfg)
 }
 
 // Listener accepts inbound connections on one port.
@@ -194,19 +232,32 @@ func (c *Conn) LocalAddr() string { return c.local.String() }
 func (c *Conn) RemoteAddr() string { return c.remote.String() }
 
 func (h *Host) sendOut(pkt *Packet) {
-	if h.uplink == nil {
+	if h.uplink == nil && !h.detached {
 		panic(fmt.Sprintf("simnet: host %s has no uplink", h.name))
 	}
 	pkt.ID = h.net.NextPacketID()
 	if h.ProcDelay > 0 {
+		// The packet enters the host's own stack regardless of attachment;
+		// whether it goes out (and over which uplink) is decided at drain
+		// time, when it actually reaches the NIC.
 		h.outq = append(h.outq, pkt)
 		h.net.K.AfterFree(h.ProcDelay, h.drainFn)
+		return
+	}
+	if h.uplink == nil {
+		// Between Detach and re-attach: the stack has no way out.
+		h.net.DetachDrops++
+		h.net.cDetachDrops.Inc()
+		h.net.FreePacket(pkt)
 		return
 	}
 	h.uplink.Send(pkt)
 }
 
-// drainOut sends the oldest queued packet after its ProcDelay elapsed.
+// drainOut sends the oldest queued packet after its ProcDelay elapsed. A
+// packet drained while the host is detached is dropped (counted, pooled);
+// one drained after a MoveTo re-attach goes out the new uplink — it had not
+// left the host stack when the old link died.
 func (h *Host) drainOut() {
 	pkt := h.outq[h.outHead]
 	h.outq[h.outHead] = nil
@@ -214,6 +265,12 @@ func (h *Host) drainOut() {
 	if h.outHead == len(h.outq) {
 		h.outq = h.outq[:0]
 		h.outHead = 0
+	}
+	if h.uplink == nil {
+		h.net.DetachDrops++
+		h.net.cDetachDrops.Inc()
+		h.net.FreePacket(pkt)
+		return
 	}
 	h.uplink.Send(pkt)
 }

@@ -31,7 +31,12 @@
 //     (TableOut/PacketOut) or drops it;
 //   - dropped packets (link down, loss, no route) are left to the garbage
 //     collector: drops are off the hot path and never recycled, which keeps
-//     the rules simple and use-after-free impossible on error paths.
+//     the rules simple and use-after-free impossible on error paths;
+//   - the one exception is a *severed* link (Host.Detach / Host.MoveTo): the
+//     handover path is deliberately exercised at scale, so packets caught on
+//     a dying link are dropped deterministically at their next transfer
+//     event, counted (Link.Dropped, Network.DetachDrops), and returned to
+//     the pool — a mobility workload must not leak a packet per handover.
 package simnet
 
 import (
@@ -148,10 +153,17 @@ type Network struct {
 	pktPool  []*Packet   // recycled packets (NewPacket / FreePacket)
 	xferPool []*transfer // recycled link transfers with their events
 
+	// DetachDrops counts packets dropped because their link was severed by a
+	// host detach/handover (these drops free to the pool, unlike loss/down
+	// drops — see the package comment).
+	DetachDrops uint64
+
 	// Obs counter handles (nil without SetObs; nil *obs.Counter no-ops).
 	// gets - puts - drops bounds the packets still alive outside the free
 	// list, so a growing residue over a steady-state run flags a leak.
-	cPoolGets, cPoolPuts, cDrops *obs.Counter
+	// Severed-link drops are counted separately (cDetachDrops) because they
+	// return to the pool and must not skew that balance.
+	cPoolGets, cPoolPuts, cDrops, cDetachDrops *obs.Counter
 }
 
 // SetObs registers the network's packet-pool and drop counters in the
@@ -164,6 +176,7 @@ func (n *Network) SetObs(reg *obs.Registry) {
 	n.cPoolGets = reg.Counter("simnet_packet_pool_gets_total")
 	n.cPoolPuts = reg.Counter("simnet_packet_pool_puts_total")
 	n.cDrops = reg.Counter("simnet_packet_drops_total")
+	n.cDetachDrops = reg.Counter("simnet_detach_drops_total")
 }
 
 // NewNetwork returns an empty network bound to kernel k.
@@ -255,6 +268,12 @@ type Link struct {
 	ab   direction
 	ba   direction
 	down bool
+	// severed marks a link permanently cut by Host.Detach/MoveTo. Unlike
+	// down (a transient failure whose drops are left to the GC), a severed
+	// link deterministically drops every in-flight packet at its next
+	// transfer event and returns it to the pool; nothing is ever delivered
+	// from either port again.
+	severed bool
 	// extraLoss / extraLatency are fault-injection impairments added on
 	// top of the configured loss and propagation delay (see Impair). Both
 	// zero by default, in which case the datapath behaves exactly as
@@ -287,6 +306,9 @@ func (l *Link) SetDown(down bool) { l.down = down }
 
 // Down reports whether the link is down.
 func (l *Link) Down() bool { return l.down }
+
+// Severed reports whether the link was permanently cut by a host detach.
+func (l *Link) Severed() bool { return l.severed }
 
 // Config returns the link's configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
@@ -347,6 +369,13 @@ type transfer struct {
 
 // fire is the transfer's event callback for both stages.
 func (t *transfer) fire() {
+	if t.dir.link.severed {
+		// The link was cut while this packet was in flight (serializing or
+		// already in the latency stage): it dies here, deterministically, at
+		// the time its next event was due. No delivery from a dead port.
+		t.dir.dropSevered(t)
+		return
+	}
 	if !t.delivering {
 		t.dir.complete(t)
 		return
@@ -427,6 +456,13 @@ func (d *direction) capacityBps() float64 {
 
 func (d *direction) transmit(pkt *Packet, deliver func(*Packet)) {
 	k := d.link.net.K
+	if d.link.severed {
+		// A send into a severed link (e.g. the peer switch still routing at
+		// the old port) drops immediately, back to the pool.
+		d.countSevered()
+		d.link.net.FreePacket(pkt)
+		return
+	}
 	loss := d.link.cfg.Loss + d.link.extraLoss
 	if d.link.down || (loss > 0 && d.lossDraw() < loss) {
 		d.link.Dropped++
@@ -513,6 +549,37 @@ func (d *direction) complete(t *transfer) {
 	// Enter the latency stage on the same persistent event.
 	t.delivering = true
 	k.Schedule(t.finish, k.Now()+d.link.latency())
+}
+
+// countSevered accounts one severed-link drop (per-link and network-wide).
+func (d *direction) countSevered() {
+	d.link.Dropped++
+	d.link.net.DetachDrops++
+	d.link.net.cDetachDrops.Inc()
+}
+
+// dropSevered retires a transfer whose link was severed mid-flight: the
+// packet returns to the pool, the drop is counted, and the transfer (with
+// its persistent event) is recycled.
+func (d *direction) dropSevered(t *transfer) {
+	if !t.delivering {
+		for i, a := range d.active {
+			if a == t {
+				d.active = append(d.active[:i], d.active[i+1:]...)
+				break
+			}
+		}
+		// No rebalance: every other transfer on this direction is equally
+		// doomed and will drop at its own already-scheduled event.
+	}
+	net := d.link.net
+	d.countSevered()
+	net.FreePacket(t.pkt)
+	t.pkt = nil
+	t.deliver = nil
+	t.dir = nil
+	t.delivering = false
+	net.xferPool = append(net.xferPool, t)
 }
 
 // ActiveTransfers returns the number of in-flight transfers a->b and b->a

@@ -79,6 +79,11 @@ func New() *SRv6 {
 // Name implements steer.Steering.
 func (b *SRv6) Name() string { return "srv6" }
 
+// Stateless implements steer.Steering: every attached switch shares the one
+// binding table, so a decision is valid wherever the client shows up next —
+// a handover needs no packet-in and no install at the new switch.
+func (b *SRv6) Stateless() bool { return true }
+
 // Bind implements steer.Steering.
 func (b *SRv6) Bind(p steer.Params) {
 	b.p = p

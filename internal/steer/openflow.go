@@ -16,17 +16,31 @@ type pairKey struct {
 	f  Flow
 }
 
+// pairState tracks which halves of a pair are still installed in the switch
+// table. The two rules of a redirect pair expire independently (the forward
+// rule idles out when the client goes quiet, the reverse keeps matching as
+// long as response traffic flows), so after a forward-only expiry the pair
+// survives as a *remnant*: release() must still be able to delete the
+// surviving reverse rule on a handover instead of orphaning it in the old
+// switch's table.
+type pairState struct {
+	cookie  uint64
+	forward bool // forward / cloud-forward rule installed
+	reverse bool // reverse rewrite rule installed (false for cloud pairs)
+}
+
 // OpenFlow is the paper's steering mechanism: per-flow forward and reverse
 // rewrite rules installed on the switch (fig. 2), identified by a
 // controller-assigned cookie per client/service/switch triple. It is the
-// default backend and preserves the pre-interface controller behavior
-// bit-for-bit: same rule shapes, same install/delete order, same cookie
-// sequence.
+// default backend and preserves the pre-interface controller behavior:
+// same rule shapes, same install/delete order, same cookie sequence.
 type OpenFlow struct {
 	p        Params
-	cookies  map[pairKey]uint64
+	pairs    map[pairKey]*pairState
+	byCookie map[uint64]pairKey
 	seq      uint64
 	switches []*openflow.Switch
+	live     int // pairs whose forward half is installed (the Entries count)
 	high     int
 	flowMods uint64
 
@@ -38,11 +52,17 @@ type OpenFlow struct {
 // NewOpenFlow creates the rule-install backend. All wiring arrives later
 // via Bind.
 func NewOpenFlow() *OpenFlow {
-	return &OpenFlow{cookies: make(map[pairKey]uint64)}
+	return &OpenFlow{
+		pairs:    make(map[pairKey]*pairState),
+		byCookie: make(map[uint64]pairKey),
+	}
 }
 
 // Name implements Steering.
 func (b *OpenFlow) Name() string { return "openflow" }
+
+// Stateless implements Steering: rule installs are per-switch state.
+func (b *OpenFlow) Stateless() bool { return false }
 
 // Bind implements Steering.
 func (b *OpenFlow) Bind(p Params) {
@@ -64,24 +84,38 @@ func (b *OpenFlow) nextCookie() uint64 {
 	return controllerCookieBase + b.seq
 }
 
-// release deletes the pair previously installed for key, if any.
+// release deletes whatever remains of the pair previously installed for
+// key, if anything. One DeleteFlows covers both rules (shared cookie), and
+// exactly one flow-mod is counted per released pair — releasing a remnant
+// whose forward rule already idle-expired issues the delete for the
+// surviving reverse rule without double-releasing the cookie or skewing
+// the live-entry accounting.
 func (b *OpenFlow) release(key pairKey) {
-	if old, ok := b.cookies[key]; ok {
-		key.sw.DeleteFlows(old)
-		delete(b.cookies, key)
-		b.flowMods++
-		b.cMods.Inc()
+	st, ok := b.pairs[key]
+	if !ok {
+		return
 	}
+	key.sw.DeleteFlows(st.cookie)
+	if st.forward {
+		b.live--
+	}
+	delete(b.pairs, key)
+	delete(b.byCookie, st.cookie)
+	b.flowMods++
+	b.cMods.Inc()
+	b.gEntries.Set(int64(b.live))
 }
 
-func (b *OpenFlow) track(key pairKey, cookie uint64, mods uint64) {
-	b.cookies[key] = cookie
-	if len(b.cookies) > b.high {
-		b.high = len(b.cookies)
+func (b *OpenFlow) track(key pairKey, cookie uint64, mods uint64, reverse bool) {
+	b.pairs[key] = &pairState{cookie: cookie, forward: true, reverse: reverse}
+	b.byCookie[cookie] = key
+	b.live++
+	if b.live > b.high {
+		b.high = b.live
 	}
 	b.flowMods += mods
 	b.cMods.Add(mods)
-	b.gEntries.Set(int64(len(b.cookies)))
+	b.gEntries.Set(int64(b.live))
 }
 
 // InstallRedirect implements Steering: the forward and reverse rewrite rules
@@ -114,8 +148,12 @@ func (b *OpenFlow) InstallRedirect(sw *openflow.Switch, f Flow, ep Endpoint) {
 			Output:     openflow.OutputNormal,
 		},
 		IdleTimeout: b.p.IdleTimeout,
+		// The reverse rule notifies too, so a remnant pair (forward expired
+		// first, see pairState) is dropped from tracking once its reverse
+		// half also leaves the table — the map stays bounded by live rules.
+		NotifyRemoved: true,
 	})
-	b.track(key, cookie, 2)
+	b.track(key, cookie, 2, true)
 }
 
 // InstallCloudForward implements Steering: a pass-through flow so the
@@ -132,32 +170,54 @@ func (b *OpenFlow) InstallCloudForward(sw *openflow.Switch, f Flow) {
 		IdleTimeout:   b.p.IdleTimeout,
 		NotifyRemoved: true,
 	})
-	b.track(key, cookie, 1)
+	b.track(key, cookie, 1, false)
 }
 
 // ReAnchor implements Steering: handover. The old attachment point's pair is
 // deleted eagerly (it can never match again — the client's packets now enter
-// at newSw) and a fresh pair is installed where the client actually is.
+// at newSw) and a fresh pair is installed where the client actually is. When
+// the old pair already idle-expired in full, release is a no-op: the cookie
+// is not double-released and no phantom flow-mod is counted.
 func (b *OpenFlow) ReAnchor(oldSw, newSw *openflow.Switch, f Flow, ep Endpoint) {
 	b.release(pairKey{oldSw, f})
-	b.gEntries.Set(int64(len(b.cookies)))
 	b.InstallRedirect(newSw, f, ep)
 }
 
-// FlowRemoved implements Steering: a forward rule idle-expired on sw; drop
-// the pair's cookie tracking (the reverse rule expires on its own).
+// FlowRemoved implements Steering: a rule idle-expired on sw. A forward
+// rule's expiry ends the pair's live entry (and reports the flow so the
+// controller can GC client state); if the pair's reverse rule is still
+// installed, the pair is kept as a remnant so a later release can delete
+// it. A reverse rule's expiry (recognized by its endpoint-keyed match —
+// SrcPort set) only trims that remnant bookkeeping.
 func (b *OpenFlow) FlowRemoved(sw *openflow.Switch, rule *openflow.FlowRule) (Flow, bool) {
+	if rule.Match.SrcPort != 0 {
+		if key, ok := b.byCookie[rule.Cookie]; ok {
+			if st := b.pairs[key]; st != nil && st.cookie == rule.Cookie {
+				st.reverse = false
+				if !st.forward {
+					delete(b.pairs, key)
+					delete(b.byCookie, rule.Cookie)
+				}
+			}
+		}
+		return Flow{}, false
+	}
 	f := Flow{Client: rule.Match.SrcIP, VIP: rule.Match.DstIP, Port: rule.Match.DstPort}
 	key := pairKey{sw, f}
-	if cookie, ok := b.cookies[key]; ok && cookie == rule.Cookie {
-		delete(b.cookies, key)
-		b.gEntries.Set(int64(len(b.cookies)))
+	if st, ok := b.pairs[key]; ok && st.cookie == rule.Cookie {
+		st.forward = false
+		b.live--
+		b.gEntries.Set(int64(b.live))
+		if !st.reverse {
+			delete(b.pairs, key)
+			delete(b.byCookie, rule.Cookie)
+		}
 	}
 	return f, true
 }
 
 // Entries implements Steering.
-func (b *OpenFlow) Entries() int { return len(b.cookies) }
+func (b *OpenFlow) Entries() int { return b.live }
 
 // Stats implements Steering. SwitchRules is the summed live table size of
 // every attached switch (punt rules included — they are part of the
@@ -168,7 +228,7 @@ func (b *OpenFlow) Stats() TableStats {
 		rules += sw.RuleCount()
 	}
 	return TableStats{
-		Entries:          len(b.cookies),
+		Entries:          b.live,
 		EntriesHighWater: b.high,
 		FlowMods:         b.flowMods,
 		SwitchRules:      rules,

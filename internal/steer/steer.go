@@ -80,6 +80,12 @@ type TableStats struct {
 type Steering interface {
 	// Name identifies the backend ("openflow", "srv6").
 	Name() string
+	// Stateless reports whether steering decisions are valid at every
+	// attached switch without per-switch installs (srsteer's shared binding
+	// table, consulted by each ingress hook). The controller uses this on
+	// handover: a stateless backend needs no packet-in at the new switch —
+	// re-anchoring is a pure binding refresh and the continuity gap is zero.
+	Stateless() bool
 	// Bind wires the backend to the controller (called once from core.New).
 	Bind(p Params)
 	// AttachSwitch is called for every switch the controller manages; the

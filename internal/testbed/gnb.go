@@ -1,0 +1,76 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"transparentedge/internal/core"
+	"transparentedge/internal/openflow"
+	"transparentedge/internal/simnet"
+)
+
+// gNB topology constants. With Options.GNBs > 0, clients sit behind gNB
+// access switches instead of directly on the site switch: each gNB carries
+// the punt rules and steering installs (the client's attachment point), and
+// the site switch degrades to a transit switch between the gNBs and the
+// uplinks. Port numbering: on a gNB, port 1 is the x-haul toward the site
+// switch and clients occupy 100+; on the site switch, gNB g hangs off port
+// gnbSitePortBase+g (clear of the EGS/cloud/registry/far-edge ports).
+const (
+	gnbUplinkPort    = 1
+	gnbSitePortBase  = 10
+	xhaulLinkLatency = 300 * time.Microsecond
+	xhaulLinkWidth   = 10 * simnet.Gbps
+)
+
+// buildGNBs inserts n access switches between the site switch and its
+// future clients: the site switch is re-registered as a transit switch (no
+// punt rules — a cloud-bound flow must not re-punt mid-path) and each gNB
+// becomes a punting, steering-capable controller switch.
+func buildGNBs(ctrl *core.Controller, net *simnet.Network, site *openflow.Switch, n int, namePrefix string) []*openflow.Switch {
+	ctrl.AddTransitSwitch(site)
+	gnbs := make([]*openflow.Switch, n)
+	for g := 0; g < n; g++ {
+		gnb := openflow.NewSwitch(net, fmt.Sprintf("%sgnb-%d", namePrefix, g), openflow.DefaultConfig())
+		up, down := net.Connect(gnb, site, simnet.LinkConfig{
+			Name:      fmt.Sprintf("%sgnb-%d/xhaul", namePrefix, g),
+			Latency:   xhaulLinkLatency,
+			Bandwidth: xhaulLinkWidth,
+		})
+		gnb.AddPort(gnbUplinkPort, up)
+		gnb.SetDefaultRoute(gnbUplinkPort)
+		site.AddPort(gnbSitePortBase+g, down)
+		ctrl.AddSwitch(gnb)
+		gnbs[g] = gnb
+	}
+	return gnbs
+}
+
+// attachClientGNB attaches a client to its initial cell (idx % len(gnbs),
+// the workload generator's StartCell convention) under a stable port number
+// and routes the site switch toward that gNB. Returns the cell index.
+func attachClientGNB(gnbs []*openflow.Switch, site *openflow.Switch, cli *simnet.Host, idx, port int) int {
+	g := idx % len(gnbs)
+	gnbs[g].AttachHost(cli, port, simnet.LinkConfig{
+		Name: cli.Name(), Latency: rpiLinkLatency, Bandwidth: rpiLinkBandwidth,
+	})
+	site.SetRoute(cli.IP(), gnbSitePortBase+g)
+	return g
+}
+
+// moveClientGNB performs one handover: sever the old radio link (in-flight
+// packets on it drop at their own events — see simnet.Host.Detach), rewire
+// both switches' routes, and notify the controller so steering state
+// follows the client. The client keeps its port number on every gNB (only
+// it ever uses that number), so ping-pong handovers can reuse it freely.
+func moveClientGNB(ctrl *core.Controller, gnbs []*openflow.Switch, site *openflow.Switch,
+	cli *simnet.Host, port, from, to int) {
+	gnbs[from].DetachPort(port)
+	_, np := cli.MoveTo(gnbs[to], simnet.LinkConfig{
+		Name: cli.Name(), Latency: rpiLinkLatency, Bandwidth: rpiLinkBandwidth,
+	})
+	gnbs[to].AddPort(port, np)
+	gnbs[to].SetRoute(cli.IP(), port)
+	site.SetRoute(cli.IP(), gnbSitePortBase+to)
+	ctrl.NoteHandover(cli.IP(), gnbs[to], port)
+}

@@ -52,6 +52,11 @@ type RegionOptions struct {
 	// SteerBackend selects each region's steering backend by name (see
 	// NewSteering); every region gets its own fresh backend instance.
 	SteerBackend string
+	// GNBs inserts that many gNB access switches per region between the
+	// site's clients and its switch (Options.GNBs, tiled): handovers are
+	// strictly intra-region, so the topology change never crosses a shard
+	// boundary. 0 keeps the flat per-region topology.
+	GNBs int
 }
 
 // Region is one edge site: its own network, switch, EGS, controller,
@@ -65,6 +70,12 @@ type Region struct {
 	Ctrl    *core.Controller
 	Docker  *docker.Engine
 	Runtime *container.Runtime
+
+	// GNBs are the site's access switches (RegionOptions.GNBs; empty in
+	// the flat topology), with each client's current cell and stable port.
+	GNBs     []*openflow.Switch
+	gnbOf    []int
+	cliPorts []int
 
 	// Trace / Counters are the site's obs handles (nil unless enabled).
 	Trace    *obs.Tracer
@@ -178,7 +189,11 @@ func NewRegions(opts RegionOptions) *Regions {
 		ctrlCfg.Counters = r.Counters
 		ctrlCfg.Steering = NewSteering(opts.SteerBackend)
 		r.Ctrl = core.New(k, r.EGS, ctrlCfg)
-		r.Ctrl.AddSwitch(r.Switch)
+		if opts.GNBs > 0 {
+			r.GNBs = buildGNBs(r.Ctrl, r.Net, r.Switch, opts.GNBs, fmt.Sprintf("r%d/", i))
+		} else {
+			r.Ctrl.AddSwitch(r.Switch)
+		}
 
 		r.Docker = docker.New(fmt.Sprintf("r%d-docker", i), r.Runtime, behaviors, DockerConfig())
 		r.Docker.SetObs(r.Counters)
@@ -188,9 +203,15 @@ func NewRegions(opts RegionOptions) *Regions {
 		for j := 0; j < opts.ClientsPerRegion; j++ {
 			cli := simnet.NewHost(r.Net, fmt.Sprintf("r%d/rpi-%02d", i, j), simnet.Addr(fmt.Sprintf("10.%d.1.%d", d, j+1)))
 			cli.ProcDelay = rpiProcDelay
-			r.Switch.AttachHost(cli, cliPort, simnet.LinkConfig{
-				Name: cli.Name(), Latency: rpiLinkLatency, Bandwidth: rpiLinkBandwidth,
-			})
+			if len(r.GNBs) > 0 {
+				g := attachClientGNB(r.GNBs, r.Switch, cli, j, cliPort)
+				r.gnbOf = append(r.gnbOf, g)
+				r.cliPorts = append(r.cliPorts, cliPort)
+			} else {
+				r.Switch.AttachHost(cli, cliPort, simnet.LinkConfig{
+					Name: cli.Name(), Latency: rpiLinkLatency, Bandwidth: rpiLinkBandwidth,
+				})
+			}
 			cliPort++
 			rs.Router.AddRoute(cli.IP(), rtPort)
 			r.Clients = append(r.Clients, cli)
@@ -261,6 +282,25 @@ func (rs *Regions) RegisterCatalogService(region int, key string) (*spec.Annotat
 func (rs *Regions) Origin(uniqueName string) (*simnet.Host, bool) {
 	h, ok := rs.origins[uniqueName]
 	return h, ok
+}
+
+// Handover moves one region's client to another of that region's gNB
+// cells — strictly intra-region, so the rewiring touches only the region's
+// own shard domain. Must run on the region's kernel (the replay engine's
+// mobility lane does); a no-op when the client already sits in the target
+// cell. Panics without RegionOptions.GNBs.
+func (rs *Regions) Handover(region, cli, to int) {
+	r := rs.Sites[region]
+	if len(r.GNBs) == 0 {
+		panic("testbed: Handover requires RegionOptions.GNBs > 0")
+	}
+	cli = cli % len(r.Clients)
+	from := r.gnbOf[cli]
+	if from == to {
+		return
+	}
+	moveClientGNB(r.Ctrl, r.GNBs, r.Switch, r.Clients[cli], r.cliPorts[cli], from, to)
+	r.gnbOf[cli] = to
 }
 
 // Request issues one measured request from a region's client to a service

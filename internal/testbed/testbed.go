@@ -117,6 +117,13 @@ type Options struct {
 	// builds the paper's per-flow rule installer, "srv6" (alias "srsteer")
 	// the stateless ingress-encapsulation backend. See NewSteering.
 	SteerBackend string
+	// GNBs inserts that many gNB access switches between the clients and
+	// the site switch — the radio attachment points the mobility workload
+	// hands clients over between (Handover). Client i starts on gNB
+	// i % GNBs; the site switch becomes a transit switch (no punt rules)
+	// and each gNB punts to the controller. 0 keeps the flat topology,
+	// byte-identical to before the option existed.
+	GNBs int
 }
 
 // NewSteering maps a backend name to a fresh steer.Steering: "" and
@@ -157,6 +164,13 @@ type Testbed struct {
 	FarDocker  *docker.Engine
 	FarHost    *simnet.Host
 	FarRuntime *container.Runtime
+
+	// GNBs are the access switches of the mobility topology (Options.GNBs;
+	// empty in the flat topology). gnbOf / cliPorts track each client's
+	// current cell and its stable gNB port number.
+	GNBs     []*openflow.Switch
+	gnbOf    []int
+	cliPorts []int
 
 	Hub     *registry.Server
 	GCR     *registry.Server
@@ -341,7 +355,11 @@ func New(opts Options) *Testbed {
 		return 0
 	}
 	tb.Ctrl = core.New(k, tb.EGS, ctrlCfg)
-	tb.Ctrl.AddSwitch(tb.Switch)
+	if opts.GNBs > 0 {
+		tb.GNBs = buildGNBs(tb.Ctrl, n, tb.Switch, opts.GNBs, "")
+	} else {
+		tb.Ctrl.AddSwitch(tb.Switch)
+	}
 
 	if opts.EnableDocker {
 		tb.Docker = docker.New("egs-docker", tb.Runtime, behaviors, DockerConfig())
@@ -404,9 +422,15 @@ func New(opts Options) *Testbed {
 	for i := 0; i < opts.NumClients; i++ {
 		cli := simnet.NewHost(n, fmt.Sprintf("rpi-%02d", i), simnet.Addr(fmt.Sprintf("10.0.1.%d", i+1)))
 		cli.ProcDelay = rpiProcDelay
-		tb.Switch.AttachHost(cli, tb.nextCliPort, simnet.LinkConfig{
-			Name: cli.Name(), Latency: rpiLinkLatency, Bandwidth: rpiLinkBandwidth,
-		})
+		if len(tb.GNBs) > 0 {
+			g := attachClientGNB(tb.GNBs, tb.Switch, cli, i, tb.nextCliPort)
+			tb.gnbOf = append(tb.gnbOf, g)
+			tb.cliPorts = append(tb.cliPorts, tb.nextCliPort)
+		} else {
+			tb.Switch.AttachHost(cli, tb.nextCliPort, simnet.LinkConfig{
+				Name: cli.Name(), Latency: rpiLinkLatency, Bandwidth: rpiLinkBandwidth,
+			})
+		}
 		tb.nextCliPort++
 		tb.Clients = append(tb.Clients, cli)
 	}
@@ -536,6 +560,33 @@ func (tb *Testbed) Request(p *sim.Proc, cli int, reg spec.Registration, key stri
 // keeps them bit-identical to each other.
 func (tb *Testbed) RequestAsync(cli int, reg spec.Registration, key string, timeout time.Duration, done func(*simnet.HTTPResult, error)) {
 	tb.Clients[cli].HTTPGetAsync(reg.VIP, reg.Port, catalog.Request(key), timeout, done)
+}
+
+// Handover moves a client to another gNB cell: the old radio link is
+// severed (in-flight packets drop — simnet.Host.Detach semantics), the
+// client re-attaches under its stable port number, both switches' routes
+// are rewired, and the controller is notified (core.NoteHandover). Runs in
+// kernel context; a no-op when the client is already in the target cell.
+// Panics without Options.GNBs — a flat topology has nowhere to hand over to.
+func (tb *Testbed) Handover(cli, to int) {
+	if len(tb.GNBs) == 0 {
+		panic("testbed: Handover requires Options.GNBs > 0")
+	}
+	from := tb.gnbOf[cli]
+	if from == to {
+		return
+	}
+	moveClientGNB(tb.Ctrl, tb.GNBs, tb.Switch, tb.Clients[cli], tb.cliPorts[cli], from, to)
+	tb.gnbOf[cli] = to
+}
+
+// ClientCell returns the gNB cell a client currently occupies (0 in the
+// flat topology).
+func (tb *Testbed) ClientCell(cli int) int {
+	if len(tb.gnbOf) == 0 {
+		return 0
+	}
+	return tb.gnbOf[cli]
 }
 
 // ClusterByKind returns the testbed cluster of the given kind (nil if not

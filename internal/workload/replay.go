@@ -65,6 +65,16 @@ type Options struct {
 	// Counters, when set, registers replay_inflight (gauge, with high-water
 	// mark) and replay_errors_total. Nil = off at zero cost.
 	Counters *obs.Registry
+	// Handovers is a mobility schedule replayed alongside the trace: each
+	// event fires at the replay anchor plus its At, on its own monotone
+	// event lane (it never perturbs the arrival lane), invoking
+	// ApplyHandover. Ignored when ApplyHandover is nil.
+	Handovers []Handover
+	// ApplyHandover performs one re-attachment (simnet MoveTo, switch
+	// rewiring, controller NoteHandover — see testbed.Handover). It runs in
+	// kernel context and must not block; in sharded runs it is invoked on
+	// the home region's kernel and must touch only that region's state.
+	ApplyHandover func(h Handover)
 }
 
 // replayObs bundles the replay layer's resolved obs handles; the zero value
@@ -181,6 +191,8 @@ func ReplayWith(tb *testbed.Testbed, trace *Trace, serviceKey string, opts Optio
 		}
 	})
 
+	stageHandovers(tb.K, opts, prepDone, nil)
+
 	ro := newReplayObs(opts)
 	if opts.GoroutinePerRequest {
 		replayGoroutines(tb, trace, res, regs, serviceKey, opts, prepDone, ro)
@@ -192,6 +204,38 @@ func ReplayWith(tb *testbed.Testbed, trace *Trace, serviceKey string, opts Optio
 	// plus slack for trailing deployments).
 	tb.K.RunUntil(trace.Config.Duration + 30*time.Minute)
 	return res, nil
+}
+
+// stageHandovers schedules the mobility lane: once preparation resolves, the
+// whole handover schedule is staged as one monotone event batch anchored at
+// the same t0 as the arrivals. keep filters the schedule (nil = all) — the
+// sharded replay passes a region predicate. Staged before the arrival lane
+// so a handover and an arrival at the same instant order handover-first at
+// every shard count.
+func stageHandovers(k *sim.Kernel, opts Options, prepDone *sim.Promise[sim.Time], keep func(h Handover) bool) {
+	if len(opts.Handovers) == 0 || opts.ApplyHandover == nil {
+		return
+	}
+	hs := opts.Handovers
+	if keep != nil {
+		hs = nil
+		for _, h := range opts.Handovers {
+			if keep(h) {
+				hs = append(hs, h)
+			}
+		}
+		if len(hs) == 0 {
+			return
+		}
+	}
+	apply := opts.ApplyHandover
+	prepDone.OnDone(func(t0 sim.Time, _ error) {
+		times := make([]sim.Time, len(hs))
+		for i, h := range hs {
+			times[i] = t0 + h.At
+		}
+		k.AtBatch(times, func(i int) { apply(hs[i]) })
+	})
 }
 
 // replayGoroutines is the legacy strategy: one process per request, spawned

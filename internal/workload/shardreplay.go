@@ -118,6 +118,8 @@ func ReplaySharded(rs *testbed.Regions, trace *Trace, serviceKey string, opts Op
 			}
 		})
 
+		stageHandovers(k, opts, prepDone, func(h Handover) bool { return h.Client%regions == d })
+
 		ro := replayObs{tr: site.Trace}
 		if site.Counters != nil {
 			ro.in = site.Counters.Gauge("replay_inflight")
