@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard race-steer race-mobility bench bench-10m bench-compare fuzz experiments examples clean
+.PHONY: all check fmt build vet test race race-hot race-faults race-obs race-shard race-steer race-mobility race-attrib bench bench-10m bench-compare fuzz experiments examples clean
 
 all: check
 
@@ -12,9 +12,10 @@ all: check
 # sweep with its serial-vs-parallel fingerprint parity check, the
 # observability layer's zero-overhead/determinism invariants, the
 # sharded kernel's cross-shard fingerprint parity, the steering
-# backends' cross-backend parity and table-pressure accounting, and the
-# mobility/handover path's gap accounting and shard parity).
-check: fmt build vet test race race-hot race-faults race-obs race-shard race-steer race-mobility
+# backends' cross-backend parity and table-pressure accounting, the
+# mobility/handover path's gap accounting and shard parity, and the
+# latency-attribution engine's exact-decomposition and parity gates).
+check: fmt build vet test race race-hot race-faults race-obs race-shard race-steer race-mobility race-attrib
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -75,6 +76,16 @@ race-mobility:
 	$(GO) test -race -count 1 -run 'TestGenerateHandovers' ./internal/workload
 	$(GO) test -race -count 1 -run 'TestMobility' ./internal/experiments
 
+# Latency-attribution gate under the race detector: the collector's own
+# suite (exact exclusive-time decomposition, critical-path selection,
+# flame/pprof export determinism, SLO flight recording, the nil-collector
+# zero-alloc pin), plus the experiment-level gates — the per-phase sum
+# property across the replay / fault-plan / mobility workloads and the
+# attribution-on/off fingerprint parity at every shard count.
+race-attrib:
+	$(GO) test -race -count 1 ./internal/obs/attrib
+	$(GO) test -race -count 1 -run 'TestAttrib|TestWithAttrib|TestKernelStats' ./internal/experiments
+
 # Regenerate every table and figure of the paper (plus ablations) and the
 # scale benchmarks, recording machine-readable results. The replay-engine
 # sweep (10k/100k/1M requests) lands in BENCH_replay.json; the parallel
@@ -85,6 +96,7 @@ bench:
 	$(GO) test -json -bench 'BenchmarkSweep' -benchmem -benchtime 1x -run '^$$' . > BENCH_sweep.json
 	$(GO) test -json -bench 'BenchmarkObsOverhead' -benchmem -benchtime 1x -run '^$$' . > BENCH_obs.json
 	$(GO) test -json -bench 'BenchmarkSteerBackends' -benchmem -benchtime 1x -run '^$$' . > BENCH_steer.json
+	$(GO) test -json -bench 'BenchmarkAttribOverhead' -benchmem -benchtime 1x -run '^$$' . > BENCH_attrib.json
 	$(GO) test -json -bench . -benchmem -run '^$$' ./... > BENCH_all.json
 	$(GO) run ./cmd/edgesim -json scale-faults > BENCH_faults.json
 	$(GO) run ./cmd/edgesim -json scale-mobility > BENCH_mobility.json

@@ -438,6 +438,71 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkAttribOverhead measures the latency-attribution tax (`make
+// bench` records it in BENCH_attrib.json). A 10k-request replay's span
+// stream is recorded once, then fed to a nil collector (the off path, which
+// must stay allocation-free — asserted, not just reported) and to a live
+// collector paying the real cost: tree assembly, the exclusive-time sweep,
+// critical-path marking, and flame-stack folding. The replay sub-benchmark
+// shows the end-to-end allocs/request with attribution attached, comparable
+// against BenchmarkReplayScale_10k's baseline.
+func BenchmarkAttribOverhead(b *testing.B) {
+	const requests = 10_000
+	var spans []edge.Span
+	rec := edge.NewTracer(1)
+	rec.SetSink(func(s edge.Span) { spans = append(spans, s) })
+	if res := edge.RunReplayScale(benchSeed, requests, true, edge.WithTrace(rec)); res.Errors != 0 {
+		b.Fatalf("recording replay errors = %d", res.Errors)
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		var col *edge.AttribCollector
+		if allocs := testing.AllocsPerRun(2, func() {
+			for _, s := range spans {
+				col.Observe(s)
+			}
+			col.EndStream()
+		}); allocs != 0 {
+			b.Fatalf("nil collector allocated %.0f times per stream", allocs)
+		}
+		for i := 0; i < b.N; i++ {
+			for _, s := range spans {
+				col.Observe(s)
+			}
+			col.EndStream()
+		}
+		b.ReportMetric(float64(len(spans)), "spans")
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		col := edge.NewAttribCollector(edge.AttribOptions{})
+		for i := 0; i < b.N; i++ {
+			for _, s := range spans {
+				col.Observe(s)
+			}
+			col.EndStream()
+		}
+		rep := col.Report()
+		if rep.Trees == 0 {
+			b.Fatal("no trees attributed")
+		}
+		b.ReportMetric(float64(rep.Trees)/float64(b.N), "trees/op")
+		b.ReportMetric(float64(len(spans)), "spans")
+	})
+	b.Run("replay", func(b *testing.B) {
+		b.ReportAllocs()
+		var res edge.ReplayScaleResult
+		for i := 0; i < b.N; i++ {
+			col := edge.NewAttribCollector(edge.AttribOptions{})
+			res = edge.RunReplayScale(benchSeed, requests, true, edge.WithAttrib(col))
+			if res.Errors != 0 {
+				b.Fatalf("replay errors = %d", res.Errors)
+			}
+		}
+		b.ReportMetric(res.AllocsPerRequest, "allocs/request")
+	})
+}
+
 // benchSteerBackends replays the fig. 9-style trace under one steering
 // backend per sub-benchmark and reports the backend's control-plane cost
 // next to the engine metrics: flow-mod messages (total and per 1k

@@ -46,6 +46,11 @@ var (
 	traceFile    = flag.String("trace", "", "write the run's spans as a Chrome trace-event file (open in ui.perfetto.dev)")
 	showCounters = flag.Bool("counters", false, "collect obs counters: Prometheus text on stdout (with -json, a counters block in the result)")
 
+	attribOn  = flag.Bool("attrib", false, "attach the latency-attribution engine: critical-path phase breakdown on stdout (with -json, an attrib_* block in the result)")
+	flameFile = flag.String("flame", "", "write the run's virtual-time flame graph to `file` (implies -attrib; .pb.gz/.pprof selects the pprof proto, anything else collapsed stacks)")
+	sloSpecs  = flag.String("slo", "", "comma-separated latency SLOs over root spans, e.g. request:p99=2ms (implies -attrib; first breach per objective dumps the flight recorder)")
+	sloDump   = flag.String("slo-dump", "", "write the first SLO breach's flight-recorder span trees as a Chrome trace-event file")
+
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file` (works with every experiment)")
 	memProfile = flag.String("memprofile", "", "write a pprof allocation profile of the run to `file` (works with every experiment)")
 )
@@ -92,15 +97,22 @@ func startProfiles() (stop func() error, err error) {
 	}, nil
 }
 
-// obsRun bundles the -trace / -counters wiring of one edgesim invocation:
-// a tracer streaming into a Chrome trace-event file, and/or one counter
-// registry. The zero handles mean "off" end to end (the library's nil-sink
-// zero-cost path).
+// obsRun bundles the -trace / -counters / -attrib wiring of one edgesim
+// invocation: a tracer streaming into a Chrome trace-event file, a counter
+// registry, and/or a latency-attribution collector. The zero handles mean
+// "off" end to end (the library's nil-sink zero-cost path).
 type obsRun struct {
 	tracer *edge.Tracer
 	reg    *edge.CounterRegistry
 	cw     *edge.ChromeTraceWriter
 	f      *os.File
+	col    *edge.AttribCollector
+}
+
+// attribRequested says whether any of the attribution flags is set (-flame
+// and -slo imply -attrib).
+func attribRequested() bool {
+	return *attribOn || *flameFile != "" || *sloSpecs != "" || *sloDump != ""
 }
 
 func newObsRun() (*obsRun, error) {
@@ -119,7 +131,47 @@ func newObsRun() (*obsRun, error) {
 	if *showCounters {
 		o.reg = edge.NewCounterRegistry()
 	}
+	if attribRequested() {
+		slos, err := edge.ParseSLOs(*sloSpecs)
+		if err != nil {
+			return nil, err
+		}
+		dumped := false
+		o.col = edge.NewAttribCollector(edge.AttribOptions{
+			SLOs: slos,
+			OnBreach: func(b edge.AttribBreach) {
+				fmt.Fprintf(os.Stderr, "edgesim: SLO BREACH %v on %q: observed %v over %d samples (%d trees in flight recorder)\n",
+					b.SLO, b.Root, b.Observed, b.Samples, len(b.Trees))
+				if *sloDump == "" || dumped {
+					return
+				}
+				dumped = true
+				if err := writeBreachDump(*sloDump, b); err != nil {
+					fmt.Fprintf(os.Stderr, "edgesim: slo-dump: %v\n", err)
+				}
+			},
+		})
+	}
 	return o, nil
+}
+
+// writeBreachDump flattens a breach's flight-recorder trees into one Chrome
+// trace-event file (the newest tree is the one that tipped the objective).
+func writeBreachDump(path string, b edge.AttribBreach) error {
+	var spans []edge.Span
+	for _, tree := range b.Trees {
+		spans = append(spans, tree...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := edge.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "edgesim: wrote %d flight-recorder spans to %s\n", len(spans), path)
+	return f.Close()
 }
 
 // options returns the experiment options for the enabled sinks.
@@ -131,11 +183,30 @@ func (o *obsRun) options() []edge.ExperimentOption {
 	if o.reg != nil {
 		opts = append(opts, edge.WithCounters(o.reg))
 	}
+	if o.col != nil {
+		opts = append(opts, edge.WithAttrib(o.col))
+	}
 	return opts
 }
 
-// finish closes the trace file (if any) and, in text mode, prints the
-// counter snapshot as Prometheus text.
+// attribJSON merges the attribution block into a JSON result's metric map.
+func (o *obsRun) attribJSON(out *edge.ExperimentJSON) {
+	if o.col != nil {
+		edge.AttribReportMetrics(out.Metrics, o.col.Report())
+	}
+}
+
+// warnOwnObs notes that a sweep-style experiment owns its obs handles, so
+// the attribution flags cannot be honored for it.
+func (o *obsRun) warnOwnObs(which string) {
+	if o.col != nil {
+		fmt.Fprintf(os.Stderr, "edgesim: %s runs its own per-point collectors; -attrib/-flame/-slo are ignored\n", which)
+	}
+}
+
+// finish closes the trace file (if any), writes the flame graph, and, in
+// text mode, prints the attribution summary and the counter snapshot as
+// Prometheus text.
 func (o *obsRun) finish(printText bool) error {
 	if o.cw != nil {
 		if err := o.cw.Close(); err != nil {
@@ -146,10 +217,43 @@ func (o *obsRun) finish(printText bool) error {
 			return err
 		}
 	}
+	if o.col != nil {
+		rep := o.col.Report()
+		if *flameFile != "" {
+			if err := writeFlame(*flameFile, rep); err != nil {
+				return err
+			}
+		}
+		if printText {
+			fmt.Print(rep.Summary())
+		}
+	}
 	if o.reg != nil && printText {
 		return edge.WritePrometheusText(os.Stdout, o.reg)
 	}
 	return nil
+}
+
+// writeFlame exports the report's flame graph: gzipped pprof proto for
+// .pb.gz / .pprof paths (go tool pprof -http), collapsed stacks otherwise
+// (flamegraph.pl, speedscope).
+func writeFlame(path string, rep *edge.AttribReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".pb.gz") || strings.HasSuffix(path, ".pprof") {
+		err = rep.WritePprof(f)
+	} else {
+		err = rep.WriteFolded(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "edgesim: wrote flame graph (%d stacks, %d trees) to %s\n",
+		len(rep.Folded), rep.Trees, path)
+	return f.Close()
 }
 
 // maxShards bounds -shards: the scenario has only DefaultRegions+1 = 9
@@ -268,6 +372,10 @@ Experiments (each reproduces one table/figure of the paper):
   scale-mobility    handover comparison under client mobility: continuity gap
                     and flow-mod churn per backend across handover rates, with
                     sharded fingerprint parity (-replay-requests, -backend)
+  scale-attrib      latency attribution sweep: per-phase dispatch breakdown,
+                    openflow vs srv6 across the client axis, plus the
+                    attribution determinism gates at shards 1/2/4/8
+                    (-replay-requests, -json)
   sweep             parallel with/without-waiting sweep across seeds
                     (-sweep-seeds, -sweep-requests, -procs, -json)
   scale-faults      deterministic fault-injection sweep: retries, next-best
@@ -300,10 +408,13 @@ func runExperiment(which string) error {
 		if *traceFile != "" {
 			return fmt.Errorf("-trace needs a single experiment (it writes one trace file)")
 		}
+		if *flameFile != "" || *sloDump != "" {
+			return fmt.Errorf("-flame/-slo-dump need a single experiment (they write one file)")
+		}
 		for _, w := range []string{"table1", "fig9", "fig10", "fig11", "fig12",
 			"fig13", "fig14", "fig15", "fig16", "hybrid", "serverless",
 			"ablation-memory", "ablation-timeout", "ablation-policy", "ablation-proactive", "ablation-probe", "ablation-hierarchy",
-			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard", "scale-steer", "scale-mobility"} {
+			"scale-dispatch", "scale-churn", "scale-replay", "scale-shard", "scale-steer", "scale-mobility", "scale-attrib"} {
 			if err := runExperiment(w); err != nil {
 				return fmt.Errorf("%s: %w", w, err)
 			}
@@ -420,6 +531,7 @@ func runExperiment(which string) error {
 			// The registry accumulates over both runs; attach the final
 			// snapshot to the last entry.
 			out[len(out)-1].Counters = o.reg.Map()
+			o.attribJSON(&out[len(out)-1])
 			if err := o.finish(false); err != nil {
 				return err
 			}
@@ -436,6 +548,7 @@ func runExperiment(which string) error {
 		if *asJSON {
 			out := edge.RunCookieChurn(*seed, *clients, o.options()...).JSON()
 			out.Counters = o.reg.Map()
+			o.attribJSON(&out)
 			if err := o.finish(false); err != nil {
 				return err
 			}
@@ -446,13 +559,14 @@ func runExperiment(which string) error {
 		limitProcs()
 		if *asJSON {
 			out := edge.RunReplayScale(*seed, *replayRequests, !*goroutines, o.options()...).JSON()
+			o.attribJSON(&out)
 			if err := o.finish(false); err != nil {
 				return err
 			}
 			return emitJSON(out)
 		}
 		fmt.Print(edge.RunReplayScale(*seed, *replayRequests, !*goroutines, o.options()...).String())
-		if !*goroutines && *replayRequests <= 100000 && o.tracer == nil && o.reg == nil {
+		if !*goroutines && *replayRequests <= 100000 && o.tracer == nil && o.reg == nil && o.col == nil {
 			// Show the legacy engine for comparison while it is feasible
 			// (skipped when obs is on: it would double spans and counters).
 			fmt.Print(edge.RunReplayScale(*seed, *replayRequests, false).String())
@@ -464,6 +578,7 @@ func runExperiment(which string) error {
 		limitProcs()
 		if *asJSON {
 			out := edge.RunReplayShard(*seed, *replayRequests, *shards, nil, o.options()...).JSON()
+			o.attribJSON(&out)
 			if err := o.finish(false); err != nil {
 				return err
 			}
@@ -476,6 +591,7 @@ func runExperiment(which string) error {
 			return err
 		}
 		limitProcs()
+		o.warnOwnObs(which)
 		if *asJSON {
 			out := edge.RunSteerSweep(*seed, *replayRequests, backends, o.options()...).JSON()
 			if err := o.finish(false); err != nil {
@@ -490,6 +606,7 @@ func runExperiment(which string) error {
 			return err
 		}
 		limitProcs()
+		o.warnOwnObs(which)
 		if *asJSON {
 			out := edge.RunMobilitySweep(*seed, *replayRequests, backends, o.options()...).JSON()
 			if err := o.finish(false); err != nil {
@@ -498,16 +615,29 @@ func runExperiment(which string) error {
 			return emitJSON(out)
 		}
 		fmt.Print(edge.RunMobilitySweep(*seed, *replayRequests, backends, o.options()...).String())
+	case "scale-attrib":
+		limitProcs()
+		o.warnOwnObs(which)
+		if *asJSON {
+			out := edge.RunAttribSweep(*seed, *replayRequests).JSON()
+			if err := o.finish(false); err != nil {
+				return err
+			}
+			return emitJSON(out)
+		}
+		fmt.Print(edge.RunAttribSweep(*seed, *replayRequests).String())
 	case "sweep":
 		vs := edge.WaitingSweepVariants(*sweepSeeds, *sweepReqs)
 		attachVariantObs(vs, o)
 		res := edge.RunSweep(vs, *procs)
 		drainVariantObs(vs, o)
 		if *asJSON {
+			out := res.JSON()
+			o.attribJSON(&out[len(out)-1])
 			if err := o.finish(false); err != nil {
 				return err
 			}
-			return emitJSON(res.JSON())
+			return emitJSON(out)
 		}
 		fmt.Print(res.String())
 		if err := printVariantCounters(vs); err != nil {
@@ -523,10 +653,12 @@ func runExperiment(which string) error {
 		res := edge.FaultSweepResult{SweepResult: edge.RunSweep(vs, *procs)}
 		drainVariantObs(vs, o)
 		if *asJSON {
+			out := res.JSON()
+			o.attribJSON(&out[len(out)-1])
 			if err := o.finish(false); err != nil {
 				return err
 			}
-			return emitJSON(res.JSON())
+			return emitJSON(out)
 		}
 		fmt.Print(res.String())
 		if err := printVariantCounters(vs); err != nil {
@@ -541,10 +673,11 @@ func runExperiment(which string) error {
 // attachVariantObs gives each sweep variant its own tracer and registry:
 // the types are concurrency-safe, but sharing a span ring or an in-flight
 // gauge across parallel variants would make their contents depend on worker
-// interleaving.
+// interleaving. The attribution collector needs the variant tracers too —
+// it is fed from them after the sweep, in variant order.
 func attachVariantObs(vs []edge.SweepVariant, o *obsRun) {
 	for i := range vs {
-		if o.tracer != nil {
+		if o.tracer != nil || o.col != nil {
 			vs[i].Trace = edge.NewTracer(0)
 		}
 		if o.reg != nil {
@@ -554,16 +687,23 @@ func attachVariantObs(vs []edge.SweepVariant, o *obsRun) {
 }
 
 // drainVariantObs streams every variant's retained spans into the shared
-// trace file in variant order, so the file is deterministic regardless of
-// -procs (each variant keeps at most its ring capacity of newest spans).
+// trace file and the attribution collector in variant order, so both are
+// deterministic regardless of -procs (each variant keeps at most its ring
+// capacity of newest spans). Every variant owns a private tracer with its
+// own span-ID space, so the collector gets an EndStream boundary between
+// variants.
 func drainVariantObs(vs []edge.SweepVariant, o *obsRun) {
-	if o.cw == nil {
+	if o.cw == nil && o.col == nil {
 		return
 	}
 	for i := range vs {
 		for _, s := range vs[i].Trace.Spans() {
-			o.cw.Emit(s)
+			if o.cw != nil {
+				o.cw.Emit(s)
+			}
+			o.col.Observe(s)
 		}
+		o.col.EndStream()
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"transparentedge/internal/faults"
 	"transparentedge/internal/metrics"
 	"transparentedge/internal/obs"
+	"transparentedge/internal/obs/attrib"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
@@ -238,6 +239,64 @@ func WithCounters(reg *CounterRegistry) ExperimentOption { return experiments.Wi
 // WithSteerBackend selects the steering backend ("openflow", "srv6") for an
 // experiment runner's testbeds; "" keeps the default per-flow rule installer.
 func WithSteerBackend(name string) ExperimentOption { return experiments.WithSteerBackend(name) }
+
+// Latency attribution types (DESIGN.md §17): deterministic virtual-time
+// critical-path analysis over the span trees, an exclusive-time phase
+// breakdown whose per-tree sum equals the root span's duration exactly,
+// flame-graph export (collapsed stacks and gzipped pprof proto), and
+// SLO-triggered flight recording. Attribution is a passive span sink: it
+// never changes a run's deterministic outputs, and a nil collector is free.
+type (
+	// AttribCollector streams spans into the attribution state; connect it
+	// with WithAttrib or feed it spans via Observe/EndStream directly.
+	AttribCollector = attrib.Collector
+	// AttribOptions configures the collector (flight-recorder depth, SLOs,
+	// breach callback).
+	AttribOptions = attrib.Options
+	// AttribReport is the aggregated view: per-phase exclusive/critical-path
+	// histograms, root-span distributions, folded flame stacks, breaches.
+	AttribReport = attrib.Report
+	// AttribBreach is one SLO violation with its flight-recorder dump.
+	AttribBreach = attrib.Breach
+	// SLO is one latency objective ("request:p99=2ms"; see ParseSLOs).
+	SLO = attrib.SLO
+	// KernelStats is the DES kernel's introspection snapshot (event and
+	// timing-wheel counters; free and deterministic).
+	KernelStats = sim.KernelStats
+	// ShardGroupStats is the sharded kernel group's introspection snapshot
+	// (window loop, per-shard kernels, cross-shard traffic, barrier stalls).
+	ShardGroupStats = sim.GroupStats
+	// AttribSweepResult is the scale-attrib experiment's result: per-phase
+	// dispatch latency openflow-vs-srv6 across the client axis, plus the
+	// attribution determinism gates at shard counts {1,2,4,8}.
+	AttribSweepResult = experiments.AttribSweepResult
+)
+
+// NewAttribCollector returns a latency-attribution collector.
+func NewAttribCollector(opts AttribOptions) *AttribCollector { return attrib.New(opts) }
+
+// ParseSLOs parses a comma-separated SLO list ("[root:]pQQ=duration", e.g.
+// "p99=2ms,dispatch:p50=300us"); "" means none.
+func ParseSLOs(specs string) ([]SLO, error) { return attrib.ParseSLOs(specs) }
+
+// WithAttrib streams every span an experiment run emits into the collector;
+// tracing is implied internally even without WithTrace.
+func WithAttrib(col *AttribCollector) ExperimentOption { return experiments.WithAttrib(col) }
+
+// AttribReportMetrics flattens an attribution report into a uniform JSON
+// metric map (the shape ExperimentJSON carries).
+func AttribReportMetrics(m map[string]float64, rep *AttribReport) {
+	experiments.AttribReportMetrics(m, rep)
+}
+
+// RunAttribSweep runs the latency-attribution sweep: the per-phase dispatch
+// latency comparison between steering backends across the client axis, and
+// the determinism gates (attribution-on replays fingerprint byte-identical
+// to attribution-off at every shard count, and the attribution report
+// itself is shard-count-independent).
+func RunAttribSweep(seed int64, requests int, options ...ExperimentOption) AttribSweepResult {
+	return experiments.AttribSweep(seed, requests, options...)
+}
 
 // Experiment runners — one per table/figure of the paper's evaluation.
 

@@ -491,12 +491,14 @@ func (c *Controller) HandlePacketIn(ev openflow.PacketIn) {
 		if ph, pending := c.pendingHO[pkt.SrcIP]; pending {
 			from = ph.from
 		}
+		action := "flow_install"
 		if from != nil && from != ev.Switch {
 			c.steerB.ReAnchor(from, ev.Switch, steer.Flow(fk), steer.Endpoint{Addr: inst.Addr, Port: inst.Port})
+			action = "reanchor"
 		} else {
 			c.installRedirect(ev.Switch, fk, inst)
 		}
-		c.resolveHandover(pkt.SrcIP)
+		c.resolveHandover(pkt.SrcIP, action, ev.Switch)
 		ev.Switch.TableOut(pkt)
 		if tr := c.tr; tr != nil {
 			now := time.Duration(c.k.Now())
@@ -677,7 +679,7 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 		// rule at the packet-in switch would be orphaned at the old location.
 		sw := c.currentSwitch(fk.Client, ev.Switch)
 		c.installCloudForward(sw, fk)
-		c.resolveHandover(fk.Client)
+		c.resolveHandover(fk.Client, "cloud_forward", sw)
 		sw.TableOut(ev.Packet)
 		if tr != nil {
 			now := time.Duration(p.Now())
@@ -707,7 +709,7 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 			c.ctr.cloudFallbacks.Inc()
 			sw := c.currentSwitch(fk.Client, ev.Switch)
 			c.installCloudForward(sw, fk)
-			c.resolveHandover(fk.Client)
+			c.resolveHandover(fk.Client, "cloud_forward", sw)
 			sw.TableOut(ev.Packet)
 			if tr != nil {
 				now := time.Duration(p.Now())
@@ -728,7 +730,7 @@ func (c *Controller) dispatch(p *sim.Proc, ev openflow.PacketIn, svc *spec.Annot
 		// the one that punted the packet (which the client already left).
 		sw := c.currentSwitch(fk.Client, ev.Switch)
 		c.installRedirect(sw, fk, inst)
-		c.resolveHandover(fk.Client)
+		c.resolveHandover(fk.Client, "flow_install", sw)
 		sw.TableOut(ev.Packet)
 		if tr != nil {
 			now := time.Duration(p.Now())

@@ -63,14 +63,22 @@ func (c *Controller) NoteHandover(client simnet.Addr, sw *openflow.Switch, inPor
 		// Royer et al.'s headline: with ingress encoding the handover is a
 		// binding refresh. Every switch already consults the shared table,
 		// so the session continues without interruption — gap zero, now.
+		var vias []string
+		if c.tr != nil && len(entries) > 0 {
+			vias = make([]string, 0, len(entries))
+		}
 		for _, e := range entries {
 			c.steerB.ReAnchor(prev.Switch, sw, steer.Flow(e.Key),
 				steer.Endpoint{Addr: e.Instance.Addr, Port: e.Instance.Port})
+			if vias != nil {
+				vias = append(vias, e.Instance.Service+"@"+string(e.Instance.Addr)+
+					" "+prev.Switch.Name()+"->"+sw.Name())
+			}
 		}
 		c.Stats.HandoverReAnchors += uint64(len(entries))
 		c.ctr.reanchors.Add(uint64(len(entries)))
 		if len(entries) > 0 {
-			c.recordGap(client, now, now)
+			c.recordGap(client, now, now, vias)
 		}
 		c.emit(obs.Event{Kind: obs.EvHandover, Client: string(client), Addr: sw.Name(), N: len(entries)})
 		return
@@ -103,24 +111,48 @@ func (c *Controller) currentSwitch(client simnet.Addr, fallback *openflow.Switch
 
 // resolveHandover closes a pending handover after a steering action for the
 // client at its new attachment point: the continuity gap is the time the
-// client's sessions spent anchored at a switch it had already left.
-func (c *Controller) resolveHandover(client simnet.Addr) {
+// client's sessions spent anchored at a switch it had already left. action
+// names the steering mechanism that resolved it ("reanchor",
+// "flow_install", "cloud_forward") and sw is the new anchor; together they
+// become the re-anchor child span's detail. The detail string is only built
+// once a pending handover exists and tracing is on, keeping the untraced
+// hot path allocation-free.
+func (c *Controller) resolveHandover(client simnet.Addr, action string, sw *openflow.Switch) {
 	ph, ok := c.pendingHO[client]
 	if !ok {
 		return
 	}
 	delete(c.pendingHO, client)
-	c.recordGap(client, ph.at, c.k.Now())
+	var vias []string
+	if c.tr != nil {
+		via := action
+		if ph.from != nil && sw != nil {
+			via = action + " " + ph.from.Name() + "->" + sw.Name()
+		}
+		vias = []string{via}
+	}
+	c.recordGap(client, ph.at, c.k.Now(), vias)
 }
 
-// recordGap records one continuity-gap sample and its handover span.
-func (c *Controller) recordGap(client simnet.Addr, start, end sim.Time) {
+// recordGap records one continuity-gap sample and its handover span tree:
+// one "reanchor" child per steering action that moved the client's state to
+// the new switch (instantaneous, at the resolution time), nested under the
+// "handover" root spanning the continuity gap. Children are emitted before
+// the root, matching the deploy path's order (a tree is complete once its
+// root appears).
+func (c *Controller) recordGap(client simnet.Addr, start, end sim.Time, vias []string) {
 	c.gaps.Add(time.Duration(start), time.Duration(end-start))
-	if tr := c.tr; tr != nil {
-		id := tr.NextID()
-		tr.Emit(obs.Span{ID: id, Root: id, Name: "handover", Cat: "handover",
-			Detail: string(client), Start: time.Duration(start), End: time.Duration(end)})
+	tr := c.tr
+	if tr == nil {
+		return
 	}
+	id := tr.NextID()
+	for _, via := range vias {
+		tr.Emit(obs.Span{Parent: id, Root: id, Name: "reanchor", Cat: "handover",
+			Detail: via, Start: time.Duration(end), End: time.Duration(end)})
+	}
+	tr.Emit(obs.Span{ID: id, Root: id, Name: "handover", Cat: "handover",
+		Detail: string(client), Start: time.Duration(start), End: time.Duration(end)})
 }
 
 // dropHandoverState forgets a client's pending-handover record alongside

@@ -1,9 +1,12 @@
 package core_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"transparentedge/internal/core"
+	"transparentedge/internal/obs"
 	"transparentedge/internal/sim"
 	"transparentedge/internal/simnet"
 	"transparentedge/internal/spec"
@@ -168,5 +171,127 @@ func TestStatelessHandoverReAnchorsEagerly(t *testing.T) {
 	}
 	if rg.ctrl.PendingHandovers() != 0 {
 		t.Errorf("pending handovers = %d, want 0", rg.ctrl.PendingHandovers())
+	}
+}
+
+// handoverTrees extracts the "handover"-rooted span trees from a tracer:
+// for each handover root span, the re-anchor children whose Parent is that
+// root. Children are emitted before their root, so a tree is complete once
+// the root appears.
+func handoverTrees(tr *obs.Tracer) (roots []obs.Span, children map[uint64][]obs.Span) {
+	children = make(map[uint64][]obs.Span)
+	for _, s := range tr.Spans() {
+		if s.Cat != "handover" {
+			continue
+		}
+		if s.Name == "handover" {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	return roots, children
+}
+
+// TestStatelessHandoverEmitsReanchorSpans pins the handover span tree on the
+// stateless (srv6) path: NoteHandover re-anchors eagerly, so the tracer must
+// show a zero-duration "handover" root with one "reanchor" child per moved
+// flow, each naming the service endpoint and the switch pair.
+func TestStatelessHandoverEmitsReanchorSpans(t *testing.T) {
+	tr := obs.NewTracer(0)
+	rg := newMobilityRigWith(t, srsteer.New(), func(cfg *core.Config) { cfg.Trace = tr })
+	if _, err := rg.ctrl.RegisterService(nginxYAML, spec.Registration{
+		Domain: "web.example.com", VIP: "203.0.113.10", Port: 80,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rg.k.Go("ue", func(p *sim.Proc) {
+		if _, err := rg.client.HTTPGet(p, "203.0.113.10", 80, &simnet.HTTPRequest{}, 0); err != nil {
+			t.Errorf("warm-up request: %v", err)
+			return
+		}
+		p.Sleep(100 * time.Millisecond)
+		rg.moveClientToGnb2()
+	})
+	rg.k.RunUntil(time.Minute)
+
+	roots, children := handoverTrees(tr)
+	if len(roots) != 1 {
+		t.Fatalf("handover roots = %d, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Dur() != 0 {
+		t.Errorf("stateless handover root duration = %v, want 0 (eager re-anchor)", root.Dur())
+	}
+	if root.Detail != string(rg.client.IP()) {
+		t.Errorf("root detail = %q, want client addr %q", root.Detail, rg.client.IP())
+	}
+	kids := children[root.ID]
+	if want := int(rg.ctrl.Stats.HandoverReAnchors); len(kids) != want || want == 0 {
+		t.Fatalf("reanchor children = %d, want %d (> 0, one per re-anchored flow)", len(kids), want)
+	}
+	for _, kid := range kids {
+		if kid.Name != "reanchor" || kid.Root != root.ID {
+			t.Errorf("child = %+v, want Name reanchor rooted at %d", kid, root.ID)
+		}
+		if kid.Start != root.End || kid.End != root.End {
+			t.Errorf("child interval [%v, %v], want instantaneous at root end %v",
+				kid.Start, kid.End, root.End)
+		}
+		if !strings.Contains(kid.Detail, "@") || !strings.Contains(kid.Detail, "gnb1->gnb2") {
+			t.Errorf("child detail = %q, want service@addr and gnb1->gnb2", kid.Detail)
+		}
+	}
+}
+
+// TestRuleBasedHandoverEmitsReanchorSpan pins the span tree on the reactive
+// (openflow) path: the handover stays pending until the client's next
+// packet-in re-anchors it, so the root must span the continuity gap and its
+// single "reanchor" child must name the resolving steering action and the
+// switch pair.
+func TestRuleBasedHandoverEmitsReanchorSpan(t *testing.T) {
+	tr := obs.NewTracer(0)
+	rg := newMobilityRigWith(t, nil, func(cfg *core.Config) { cfg.Trace = tr })
+	if _, err := rg.ctrl.RegisterService(nginxYAML, spec.Registration{
+		Domain: "web.example.com", VIP: "203.0.113.10", Port: 80,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rg.k.Go("ue", func(p *sim.Proc) {
+		if _, err := rg.client.HTTPGet(p, "203.0.113.10", 80, &simnet.HTTPRequest{}, 0); err != nil {
+			t.Errorf("warm-up request: %v", err)
+			return
+		}
+		p.Sleep(100 * time.Millisecond)
+		rg.moveClientToGnb2()
+		p.Sleep(time.Second)
+		if _, err := rg.client.HTTPGet(p, "203.0.113.10", 80, &simnet.HTTPRequest{}, 0); err != nil {
+			t.Errorf("post-handover request: %v", err)
+		}
+	})
+	rg.k.RunUntil(5 * time.Minute)
+
+	roots, children := handoverTrees(tr)
+	if len(roots) != 1 {
+		t.Fatalf("handover roots = %d, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Dur() < time.Second {
+		t.Errorf("rule-based handover root duration = %v, want >= the client's 1s silence", root.Dur())
+	}
+	gaps := rg.ctrl.ContinuityGaps()
+	if gaps.Len() == 1 && root.Dur() != gaps.Max() {
+		t.Errorf("root duration %v != recorded continuity gap %v", root.Dur(), gaps.Max())
+	}
+	kids := children[root.ID]
+	if len(kids) != 1 {
+		t.Fatalf("reanchor children = %d, want exactly 1 (one resolving action)", len(kids))
+	}
+	kid := kids[0]
+	if kid.Name != "reanchor" || kid.Root != root.ID {
+		t.Errorf("child = %+v, want Name reanchor rooted at %d", kid, root.ID)
+	}
+	if !strings.HasSuffix(kid.Detail, " gnb1->gnb2") {
+		t.Errorf("child detail = %q, want \"<action> gnb1->gnb2\"", kid.Detail)
 	}
 }

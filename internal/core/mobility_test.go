@@ -46,8 +46,9 @@ func newMobilityRig(t *testing.T) *mobilityRig {
 }
 
 // newMobilityRigWith builds the rig with an explicit steering backend (nil =
-// the default per-flow openflow rules).
-func newMobilityRigWith(t *testing.T, steering steer.Steering) *mobilityRig {
+// the default per-flow openflow rules). Optional opts mutate the controller
+// config before construction (e.g. to attach a tracer).
+func newMobilityRigWith(t *testing.T, steering steer.Steering, opts ...func(*core.Config)) *mobilityRig {
 	t.Helper()
 	k := sim.New(1)
 	n := simnet.NewNetwork(k)
@@ -91,6 +92,9 @@ func newMobilityRigWith(t *testing.T, steering steer.Steering) *mobilityRig {
 	cfg.Scheduler = core.WaitNearestScheduler{}
 	cfg.SwitchIdleTimeout = 30 * time.Second
 	cfg.Steering = steering
+	for _, o := range opts {
+		o(&cfg)
+	}
 	rg.ctrl = core.New(k, rg.egs, cfg)
 	rg.ctrl.AddSwitch(rg.gnb1)
 	rg.ctrl.AddSwitch(rg.gnb2)

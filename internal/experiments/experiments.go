@@ -201,6 +201,7 @@ type ScaleUpResult struct {
 // (fig. 12/15). scale in (0,1] shrinks the trace for quick runs.
 func ScaleUpStudy(seed int64, preCreate bool, scale float64, options ...Option) (*ScaleUpResult, error) {
 	o := applyOpts(options)
+	tr := o.attribTracer()
 	titleTotals := "Fig. 11 — median total time to scale up (s)"
 	titleWait := "Fig. 14 — median wait until ready after scale up"
 	if !preCreate {
@@ -220,13 +221,13 @@ func ScaleUpStudy(seed int64, preCreate bool, scale float64, options ...Option) 
 				Seed:         seed,
 				EnableDocker: kind == testbed.KindDocker,
 				EnableKube:   kind == testbed.KindKubernetes,
-				Trace:        o.trace,
+				Trace:        tr,
 				Counters:     o.counters,
 			})
-			tr := workload.Generate(TraceConfig(seed, scale))
-			rr, err := workload.ReplayWith(tb, tr, key, workload.Options{
+			wt := workload.Generate(TraceConfig(seed, scale))
+			rr, err := workload.ReplayWith(tb, wt, key, workload.Options{
 				PrePull: true, PreCreate: preCreate,
-				Trace: o.trace, Counters: o.counters,
+				Trace: tr, Counters: o.counters,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", key, kind, err)
@@ -247,6 +248,7 @@ func ScaleUpStudy(seed int64, preCreate bool, scale float64, options ...Option) 
 		res.Totals.AddRow(key, cells["Docker"], cells["K8s"])
 		res.ReadyWait.AddRow(key, waits["Docker"], waits["K8s"])
 	}
+	o.attrib.EndStream()
 	return res, nil
 }
 
@@ -260,6 +262,7 @@ type PullResult struct {
 // Fig13Pull measures cold image pulls onto the EGS per registry placement.
 func Fig13Pull(seed int64, options ...Option) (*PullResult, error) {
 	o := applyOpts(options)
+	tr := o.attribTracer()
 	res := &PullResult{Table: metrics.NewTable(
 		"Fig. 13 — total time to pull service images onto the EGS",
 		"DockerHub/GCR", "Private")}
@@ -268,7 +271,7 @@ func Fig13Pull(seed int64, options ...Option) (*PullResult, error) {
 		for i, private := range []bool{false, true} {
 			tb := testbed.New(testbed.Options{
 				Seed: seed, EnableDocker: true, UsePrivateRegistry: private,
-				Trace: o.trace, Counters: o.counters,
+				Trace: tr, Counters: o.counters,
 			})
 			a, _, err := tb.RegisterCatalogService(key)
 			if err != nil {
@@ -289,6 +292,7 @@ func Fig13Pull(seed int64, options ...Option) (*PullResult, error) {
 		}
 		res.Table.AddRow(key, cells[0], cells[1])
 	}
+	o.attrib.EndStream()
 	return res, nil
 }
 
@@ -300,6 +304,7 @@ type WarmResult struct {
 // Fig16Warm measures requests against already-running instances.
 func Fig16Warm(seed int64, requests int, options ...Option) (*WarmResult, error) {
 	o := applyOpts(options)
+	tr := o.attribTracer()
 	if requests <= 0 {
 		requests = 200
 	}
@@ -313,7 +318,7 @@ func Fig16Warm(seed int64, requests int, options ...Option) (*WarmResult, error)
 				Seed:         seed,
 				EnableDocker: kind == testbed.KindDocker,
 				EnableKube:   kind == testbed.KindKubernetes,
-				Trace:        o.trace,
+				Trace:        tr,
 				Counters:     o.counters,
 			})
 			a, reg, err := tb.RegisterCatalogService(key)
@@ -351,6 +356,7 @@ func Fig16Warm(seed int64, requests int, options ...Option) (*WarmResult, error)
 		}
 		res.Table.AddRow(key, cells["Docker"], cells["K8s"])
 	}
+	o.attrib.EndStream()
 	return res, nil
 }
 
@@ -368,6 +374,7 @@ type HybridResult struct {
 // Nginx service with cached images and pre-created services.
 func HybridStudy(seed int64, options ...Option) (*HybridResult, error) {
 	o := applyOpts(options)
+	tr := o.attribTracer()
 	res := &HybridResult{Table: metrics.NewTable(
 		"§VII — first-request total time by policy (nginx, images cached)",
 		"first request")}
@@ -388,7 +395,7 @@ func HybridStudy(seed int64, options ...Option) (*HybridResult, error) {
 			EnableDocker: pol.docker,
 			EnableKube:   pol.kube,
 			Scheduler:    pol.scheduler,
-			Trace:        o.trace,
+			Trace:        tr,
 			Counters:     o.counters,
 			// Short switch flows so later requests re-consult the
 			// (redirected) FlowMemory.
@@ -441,5 +448,6 @@ func HybridStudy(seed int64, options ...Option) (*HybridResult, error) {
 			res.KubernetesTookOver = tookOver
 		}
 	}
+	o.attrib.EndStream()
 	return res, nil
 }

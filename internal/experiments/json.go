@@ -1,6 +1,11 @@
 package experiments
 
-import "time"
+import (
+	"time"
+
+	"transparentedge/internal/obs/attrib"
+	"transparentedge/internal/sim"
+)
 
 // JSONResult is the uniform machine-readable shape every edgesim scale/sweep
 // subcommand emits: the experiment kind, an optional variant name and seed,
@@ -42,10 +47,81 @@ func (r ReplayScaleResult) JSON() JSONResult {
 		m["spans"] = float64(r.Spans)
 		m["request_spans"] = float64(r.RequestSpans)
 	}
+	kernelStatsMetrics(m, r.Kernel)
 	return JSONResult{
 		Experiment: "scale-replay",
 		Metrics:    m,
 		Counters:   r.Counters,
+	}
+}
+
+// kernelStatsMetrics flattens a kernel introspection snapshot into the
+// uniform metric map (DESIGN.md §17's kernel-stats block).
+func kernelStatsMetrics(m map[string]float64, s sim.KernelStats) {
+	m["kernel_events"] = float64(s.Events)
+	m["kernel_scheduled"] = float64(s.Scheduled)
+	m["kernel_wheel_cascades"] = float64(s.WheelCascades)
+	m["kernel_wheel_promotions"] = float64(s.WheelPromotions)
+	m["kernel_near_high_water"] = float64(s.NearHighWater)
+	m["kernel_lanes_high_water"] = float64(s.LanesHighWater)
+}
+
+// AttribReportMetrics flattens a latency-attribution report into the
+// uniform metric map (the edgesim CLI merges it into whichever experiment
+// ran with -attrib): tree/span totals, the report's shard-count-independent
+// fingerprint, and per-phase exclusive totals and tail quantiles for every
+// phase that saw time.
+func AttribReportMetrics(m map[string]float64, rep *attrib.Report) {
+	m["attrib_trees"] = float64(rep.Trees)
+	m["attrib_spans"] = float64(rep.Spans)
+	m["attrib_dropped_spans"] = float64(rep.DroppedSpans)
+	m["attrib_breaches"] = float64(len(rep.Breaches))
+	m["attrib_report_fp"] = float64(rep.Fingerprint() >> 12) // 52-bit float-safe digest
+	for p := attrib.Phase(0); p < attrib.NumPhases; p++ {
+		h := rep.Excl[p]
+		if h.Len() == 0 || h.Sum() == 0 {
+			continue
+		}
+		k := "attrib_" + p.String() + "_"
+		m[k+"excl_ms"] = ms(h.Sum())
+		m[k+"p50_ms"] = ms(h.Percentile(50))
+		m[k+"p99_ms"] = ms(h.Percentile(99))
+		if c := rep.Crit[p]; c.Sum() > 0 {
+			m[k+"crit_ms"] = ms(c.Sum())
+		}
+	}
+}
+
+// groupStatsMetrics flattens a shard group snapshot: whole-group window
+// counts plus per-kernel sums (the per-shard split stays available via the
+// Go API; the flat map keeps the JSON shape uniform).
+func groupStatsMetrics(m map[string]float64, g sim.GroupStats) {
+	m["group_windows"] = float64(g.Windows)
+	m["group_lookahead_ms"] = ms(time.Duration(g.Lookahead))
+	var k sim.KernelStats
+	var vstall time.Duration
+	var wstall time.Duration
+	var sent uint64
+	for _, s := range g.Shards {
+		k.Events += s.Kernel.Events
+		k.Scheduled += s.Kernel.Scheduled
+		k.WheelCascades += s.Kernel.WheelCascades
+		k.WheelPromotions += s.Kernel.WheelPromotions
+		if s.Kernel.NearHighWater > k.NearHighWater {
+			k.NearHighWater = s.Kernel.NearHighWater
+		}
+		if s.Kernel.LanesHighWater > k.LanesHighWater {
+			k.LanesHighWater = s.Kernel.LanesHighWater
+		}
+		vstall += time.Duration(s.BarrierStallVirtual)
+		wstall += s.BarrierStallWall
+		sent += s.SentMessages
+	}
+	kernelStatsMetrics(m, k)
+	m["group_cross_shard_msgs"] = float64(sent)
+	m["group_barrier_stall_virtual_ms"] = ms(vstall)
+	if wstall > 0 {
+		m["group_barrier_stall_wall_ms"] = ms(wstall)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"transparentedge/internal/catalog"
+	"transparentedge/internal/sim"
 	"transparentedge/internal/testbed"
 	"transparentedge/internal/workload"
 )
@@ -40,6 +41,9 @@ type ReplayScaleResult struct {
 	RequestSpans int
 	// Counters is the registry snapshot when counters were attached.
 	Counters map[string]float64
+	// Kernel is the DES kernel's introspection snapshot at end of run
+	// (always populated; the counters are free and deterministic).
+	Kernel sim.KernelStats
 }
 
 // String renders the measurement.
@@ -89,9 +93,10 @@ func ReplayScale(seed int64, requests int, eventDriven bool, options ...Option) 
 		requests = 8 * 2
 	}
 	trace := workload.Generate(replayScaleConfig(seed, requests))
+	tr := o.attribTracer()
 	tb := testbed.New(testbed.Options{
 		Seed: seed, EnableDocker: true,
-		Trace: o.trace, Counters: o.counters,
+		Trace: tr, Counters: o.counters,
 		SteerBackend: o.steer,
 	})
 
@@ -102,7 +107,7 @@ func ReplayScale(seed int64, requests int, eventDriven bool, options ...Option) 
 	res, err := workload.ReplayWith(tb, trace, catalog.Nginx, workload.Options{
 		PrePull: true, PreCreate: true,
 		GoroutinePerRequest: !eventDriven,
-		Trace:               o.trace, Counters: o.counters,
+		Trace:               tr, Counters: o.counters,
 	})
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -121,7 +126,9 @@ func ReplayScale(seed int64, requests int, eventDriven bool, options ...Option) 
 		P95:              res.Totals.Percentile(95),
 		Deployments:      res.FirstRequests.Len(),
 		Counters:         o.counters.Map(),
+		Kernel:           tb.K.Stats(),
 	}
+	o.attrib.EndStream()
 	if o.trace != nil {
 		out.Spans = o.trace.Emitted()
 		for _, s := range o.trace.Spans() {

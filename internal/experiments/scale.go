@@ -142,7 +142,7 @@ func DispatchScale(seed int64, clusters int, serial bool, options ...Option) Dis
 	cfg := core.DefaultConfig()
 	cfg.Scheduler = core.WaitNearestScheduler{}
 	cfg.SerialStateQueries = serial
-	cfg.Trace = o.trace
+	cfg.Trace = o.attribTracer()
 	cfg.Counters = o.counters
 	ctrl := core.New(k, egs, cfg)
 	ctrl.AddSwitch(sw)
@@ -174,6 +174,7 @@ func DispatchScale(seed int64, clusters int, serial bool, options ...Option) Dis
 		res.Dispatch = r.Total
 	})
 	k.RunUntil(time.Hour)
+	o.attrib.EndStream()
 	return res
 }
 
@@ -226,7 +227,7 @@ func CookieChurn(seed int64, clients int, options ...Option) CookieChurnResult {
 	cfg.Scheduler = core.WaitNearestScheduler{}
 	cfg.SwitchIdleTimeout = 500 * time.Millisecond
 	cfg.MemoryIdleTimeout = 2 * time.Second
-	cfg.Trace = o.trace
+	cfg.Trace = o.attribTracer()
 	cfg.Counters = o.counters
 	ctrl := core.New(k, egs, cfg)
 	ctrl.AddSwitch(sw)
@@ -270,5 +271,6 @@ func CookieChurn(seed int64, clients int, options ...Option) CookieChurnResult {
 	res.FinalCookies = ctrl.CookieCount()
 	res.FinalClientLocs = ctrl.TrackedClients()
 	res.FinalMemory = ctrl.Memory.Len()
+	o.attrib.EndStream()
 	return res
 }

@@ -9,6 +9,7 @@ import (
 	"transparentedge/internal/catalog"
 	"transparentedge/internal/faults"
 	"transparentedge/internal/metrics"
+	"transparentedge/internal/sim"
 	"transparentedge/internal/testbed"
 	"transparentedge/internal/workload"
 )
@@ -41,6 +42,10 @@ type ReplayShardResult struct {
 	SpanDigest uint64
 	// Counters is the region-summed registry snapshot (nil uncounted).
 	Counters map[string]float64
+	// Group is the shard group's window-loop and per-kernel introspection
+	// snapshot (always populated; excluded from Fingerprint — the wall
+	// stall fields are machine-dependent).
+	Group sim.GroupStats
 }
 
 // Fingerprint digests every deterministic simulated output: per-region
@@ -101,6 +106,7 @@ func (r ReplayShardResult) JSON() JSONResult {
 	if r.Spans > 0 {
 		m["spans"] = float64(r.Spans)
 	}
+	groupStatsMetrics(m, r.Group)
 	return JSONResult{
 		Experiment: "scale-shard",
 		Metrics:    m,
@@ -132,7 +138,7 @@ func ReplayShard(seed int64, requests, shards int, spec *faults.Spec, options ..
 	rs := testbed.NewRegions(testbed.RegionOptions{
 		Seed:         seed,
 		Shards:       shards,
-		Traced:       o.trace != nil,
+		Traced:       o.trace != nil || o.attrib != nil,
 		Counted:      o.counters != nil,
 		Faults:       spec,
 		SteerBackend: o.steer,
@@ -166,11 +172,14 @@ func ReplayShard(seed int64, requests, shards int, spec *faults.Spec, options ..
 	for _, rres := range res.PerRegion {
 		out.PerRegionRequests = append(out.PerRegionRequests, rres.Totals.Len())
 	}
+	out.Group = rs.Group.Stats()
 
 	// Drain per-region obs deterministically in region order: spans into
-	// the caller's tracer (and a digest for the trace-byte parity check),
-	// counters summed into the caller's registry.
-	if o.trace != nil {
+	// the caller's tracer (and a digest for the trace-byte parity check)
+	// and the attribution collector, counters summed into the caller's
+	// registry. Each site owns its own tracer with its own span-ID space,
+	// so the collector sees an EndStream boundary between sites.
+	if o.trace != nil || o.attrib != nil {
 		var digest uint64 = 1469598103934665603
 		mix := func(v uint64) {
 			for i := 0; i < 8; i++ {
@@ -195,7 +204,9 @@ func ReplayShard(seed int64, requests, shards int, spec *faults.Spec, options ..
 				mix(uint64(s.Start))
 				mix(uint64(s.End))
 				o.trace.Emit(s)
+				o.attrib.Observe(s)
 			}
+			o.attrib.EndStream()
 		}
 		out.SpanDigest = digest
 	}
@@ -207,12 +218,26 @@ func ReplayShard(seed int64, requests, shards int, spec *faults.Spec, options ..
 			}
 		}
 		out.Counters = merged
+		// Fold the per-site registries into the caller's: counters add up,
+		// and gauges carry both their instantaneous value and their
+		// high-water mark. Peaks sum across sites (each site's peak was a
+		// real concurrent occupancy somewhere in the run), so the caller's
+		// "<name>_max" export survives even though every site gauge has
+		// drained back to zero by end of run.
+		highs := make(map[string]int64)
 		for _, site := range rs.Sites {
 			for _, s := range site.Counters.Snapshot() {
 				if s.Kind == "counter" {
 					o.counters.Counter(s.Name).Add(uint64(s.Value))
 				}
 			}
+			site.Counters.EachGauge(func(name string, v, hi int64) {
+				o.counters.Gauge(name).Add(v)
+				highs[name] += hi
+			})
+		}
+		for name, hi := range highs {
+			o.counters.Gauge(name).RaiseHigh(hi)
 		}
 	}
 	return out

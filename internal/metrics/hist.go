@@ -178,8 +178,13 @@ func (h *Hist) Stddev() time.Duration {
 func (h *Hist) Median() time.Duration { return h.Percentile(50) }
 
 // Percentile returns the approximate p-th percentile using the same
-// fractional-rank convention as Series, linearly interpolated within the
-// containing bucket and clamped to [Min, Max]. p must be in [0,100].
+// fractional-rank convention as Series: the value is interpolated between
+// the floor- and ceil-rank samples, so quantiles that straddle a bucket
+// boundary blend the two buckets instead of collapsing onto the lower one
+// (p99 of a two-sample histogram lands next to the larger sample, exactly
+// as Series reports it). Within a multi-duration bucket the rank value is
+// estimated at the sample's centered offset and clamped to [Min, Max].
+// p must be in [0,100].
 func (h *Hist) Percentile(p float64) time.Duration {
 	if h.total == 0 {
 		return 0
@@ -187,18 +192,40 @@ func (h *Hist) Percentile(p float64) time.Duration {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
 	}
-	target := p / 100 * float64(h.total-1)
-	var cum float64
+	rank := p / 100 * float64(h.total-1)
+	lo := uint64(math.Floor(rank))
+	vlo := h.valueAtRank(lo)
+	frac := rank - float64(lo)
+	if frac == 0 {
+		return vlo
+	}
+	vhi := h.valueAtRank(lo + 1)
+	return vlo + time.Duration(frac*float64(vhi-vlo))
+}
+
+// valueAtRank estimates the value of the rank-th smallest sample (0-based).
+// It is exact when the containing bucket spans a single duration (the unit
+// region below 2^sb, or any bucket pinned by the min/max clamp) and accurate
+// to the bucket width otherwise.
+func (h *Hist) valueAtRank(rank uint64) time.Duration {
+	// The extreme ranks are tracked exactly: the smallest sample is Min and
+	// the largest is Max, whatever bucket they landed in.
+	if rank == 0 {
+		return h.min
+	}
+	if rank >= h.total-1 {
+		return h.max
+	}
 	sb := h.sb()
+	var cum uint64
 	for idx, c := range h.counts {
 		if c == 0 {
 			continue
 		}
-		fc := float64(c)
-		if cum+fc > target {
+		if cum+c > rank {
 			v := histLowerSub(idx, sb)
 			if w := histWidthSub(idx, sb); w > 1 {
-				frac := (target - cum + 0.5) / fc
+				frac := (float64(rank-cum) + 0.5) / float64(c)
 				v += time.Duration(frac * float64(w))
 			}
 			if v < h.min {
@@ -209,7 +236,7 @@ func (h *Hist) Percentile(p float64) time.Duration {
 			}
 			return v
 		}
-		cum += fc
+		cum += c
 	}
 	return h.max
 }

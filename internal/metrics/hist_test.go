@@ -375,3 +375,93 @@ func TestSeriesToHist(t *testing.T) {
 		t.Fatal("ToHist copy is not independent of the series")
 	}
 }
+
+func TestHistQuantileBucketBoundarySingleBucket(t *testing.T) {
+	// All samples in one bucket. With identical samples the min/max clamp
+	// pins every quantile to the exact value, whatever the bucket width —
+	// the SLO watcher relies on p50/p99 being exact here, not just within
+	// the bucket-width error bound.
+	for _, v := range []time.Duration{7, 63, 64, 100 * time.Millisecond} {
+		h := NewHist("x")
+		for i := 0; i < 5; i++ {
+			h.Add(0, v)
+		}
+		for _, p := range []float64{0, 50, 99, 100} {
+			if got := h.Percentile(p); got != v {
+				t.Errorf("value %v: P%v = %v, want exact", v, p, got)
+			}
+		}
+	}
+
+	// Distinct small integers below 2^histSubBits live in unit buckets:
+	// quantiles are exact and match Series bit-for-bit.
+	h := NewHist("x")
+	s := NewSeries("x")
+	for _, v := range []time.Duration{10, 11, 12, 13} {
+		h.Add(0, v)
+		s.Add(0, v)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got, want := h.Percentile(p), s.Percentile(p); got != want {
+			t.Errorf("unit buckets: P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestHistQuantileBucketBoundaryTwoBuckets(t *testing.T) {
+	// Two samples in two different buckets. The fractional rank for p99
+	// falls between them; the interpolation must cross the bucket boundary
+	// and land next to the larger sample like Series does, instead of
+	// collapsing onto the lower bucket.
+	a, b := time.Duration(10), time.Duration(40) // both unit buckets: exact
+	h := NewHist("x")
+	s := NewSeries("x")
+	for _, v := range []time.Duration{a, b} {
+		h.Add(0, v)
+		s.Add(0, v)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got, want := h.Percentile(p), s.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v (Series)", p, got, want)
+		}
+	}
+	if got := h.Percentile(50); got != (a+b)/2 {
+		t.Errorf("P50 = %v, want midpoint %v", got, (a+b)/2)
+	}
+	if got := h.Percentile(99); got != a+time.Duration(0.99*float64(b-a)) {
+		t.Errorf("P99 = %v, want interpolated %v", got,
+			a+time.Duration(0.99*float64(b-a)))
+	}
+
+	// Wide buckets: identical samples per bucket, so the min/max clamp makes
+	// the two rank values exact and the cross-bucket interpolation exact too.
+	wa, wb := 10*time.Millisecond, 40*time.Millisecond
+	hw := NewHist("x")
+	hw.Add(0, wa)
+	hw.Add(0, wb)
+	if got := hw.Percentile(0); got != wa {
+		t.Errorf("wide P0 = %v, want %v", got, wa)
+	}
+	if got := hw.Percentile(100); got != wb {
+		t.Errorf("wide P100 = %v, want %v", got, wb)
+	}
+	if got, want := hw.Percentile(99), wa+time.Duration(0.99*float64(wb-wa)); got != want {
+		t.Errorf("wide P99 = %v, want %v", got, want)
+	}
+
+	// A lopsided split across two adjacent buckets: integer ranks that land
+	// exactly on the boundary sample must return it exactly (unit buckets).
+	h2 := NewHist("x")
+	s2 := NewSeries("x")
+	for i := 0; i < 99; i++ {
+		h2.Add(0, 20)
+		s2.Add(0, 20)
+	}
+	h2.Add(0, 30)
+	s2.Add(0, 30)
+	for _, p := range []float64{50, 99, 100} {
+		if got, want := h2.Percentile(p), s2.Percentile(p); got != want {
+			t.Errorf("lopsided P%v = %v, want %v (Series)", p, got, want)
+		}
+	}
+}

@@ -122,3 +122,81 @@ func TestChromeWriterStreaming(t *testing.T) {
 		t.Fatalf("empty trace is not valid JSON: %q", empty.String())
 	}
 }
+
+// handoverSpans mirrors the PR-9 handover tree exactly as core emits it:
+// instantaneous "reanchor" children at the resolution instant, emitted
+// before their "handover" root, whose detail (the client address) and the
+// children's details (service@addr old->new, action strings) exercise JSON
+// escaping — quotes, backslashes, and non-ASCII all appear in real switch
+// and cluster names only rarely, so the fixture forces them.
+func handoverSpans() []Span {
+	return []Span{
+		{ID: 8, Parent: 7, Root: 7, Name: "reanchor", Cat: "handover",
+			Detail: `video"analytics"@10.0.2.9 gnb-1->gnb-2`,
+			Start:  2 * time.Millisecond, End: 2 * time.Millisecond},
+		{ID: 9, Parent: 7, Root: 7, Name: "reanchor", Cat: "handover",
+			Detail: `iot\backslash@10.0.2.10 gnb-1->gnb-2`,
+			Start:  2 * time.Millisecond, End: 2 * time.Millisecond},
+		{ID: 7, Root: 7, Name: "handover", Cat: "handover",
+			Detail: "10.0.9.1", Start: 2 * time.Millisecond, End: 2 * time.Millisecond},
+		{ID: 11, Parent: 10, Root: 10, Name: "reanchor", Cat: "handover",
+			Detail: "flow_install gnb-2->gnb-3",
+			Start:  5 * time.Millisecond, End: 5 * time.Millisecond},
+		{ID: 10, Root: 10, Name: "handover", Cat: "handover",
+			Detail: "10.0.9.1", Start: 3 * time.Millisecond, End: 5 * time.Millisecond},
+	}
+}
+
+// TestChromeHandoverGolden pins the handover span tree's byte-exact export,
+// alongside the dispatch golden: nested re-anchor children (tid = the
+// handover root ID) and escaped args must round-trip unchanged.
+func TestChromeHandoverGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, handoverSpans()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if !json.Valid(got) {
+		t.Fatalf("exporter output is not valid JSON:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "handover.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (regenerate by updating the file to the output below): %v\n%s", golden, err, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exporter output diverged from %s\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+
+	// Decode and check the nesting- and escaping-sensitive fields.
+	var events []struct {
+		Name string  `json:"name"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		TID  uint64  `json:"tid"`
+		Args struct {
+			Parent uint64 `json:"parent"`
+			Detail string `json:"detail"`
+		} `json:"args"`
+	}
+	if err := json.Unmarshal(got, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("%d events, want 5", len(events))
+	}
+	for i, e := range events[:3] {
+		if e.TID != 7 {
+			t.Fatalf("event %d: tid = %d, want root 7", i, e.TID)
+		}
+	}
+	if events[0].Args.Parent != 7 || events[0].Args.Detail != `video"analytics"@10.0.2.9 gnb-1->gnb-2` {
+		t.Fatalf("first reanchor args = %+v", events[0].Args)
+	}
+	if events[1].Args.Detail != `iot\backslash@10.0.2.10 gnb-1->gnb-2` {
+		t.Fatalf("backslash detail = %q", events[1].Args.Detail)
+	}
+	if events[4].Name != "handover" || events[4].TS != 3000 || events[4].Dur != 2000 {
+		t.Fatalf("pending-resolution handover ts/dur = %v/%v", events[4].TS, events[4].Dur)
+	}
+}

@@ -17,6 +17,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -103,6 +104,22 @@ func (g *Gauge) High() int64 {
 	return g.hi.Load()
 }
 
+// RaiseHigh lifts the high-water mark to at least h without touching the
+// instantaneous value. Aggregators use it to carry a source gauge's peak
+// into a merged registry even when the source has since drained to zero —
+// the merged snapshot still reports the peak under "<name>_max".
+func (g *Gauge) RaiseHigh(h int64) {
+	if g == nil {
+		return
+	}
+	for {
+		hi := g.hi.Load()
+		if h <= hi || g.hi.CompareAndSwap(hi, h) {
+			return
+		}
+	}
+}
+
 // Sample is one snapshotted metric value.
 type Sample struct {
 	// Name is the full series name; per-label series encode their labels
@@ -182,10 +199,46 @@ func (r *Registry) Snapshot() []Sample {
 	}
 	for name, g := range r.gauges {
 		out = append(out, Sample{Name: name, Kind: "gauge", Value: float64(g.Value())})
-		out = append(out, Sample{Name: name + "_max", Kind: "gauge", Value: float64(g.High())})
+		out = append(out, Sample{Name: maxName(name), Kind: "gauge", Value: float64(g.High())})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// maxName derives the high-water series name for a gauge. For label-bearing
+// names the suffix goes on the metric name, before the label block —
+// `pool{r="a"}` becomes `pool_max{r="a"}` — so the exposition stays
+// well-formed and the peak survives a round trip through a spec-conformant
+// parser even after the gauge itself has drained back to zero.
+func maxName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + "_max" + name[i:]
+	}
+	return name + "_max"
+}
+
+// EachGauge yields every registered gauge (sorted by name) with its
+// instantaneous value and high-water mark. Aggregators that fold per-shard
+// registries together use it to merge gauges without re-parsing snapshot
+// sample names. A nil registry yields nothing.
+func (r *Registry) EachGauge(f func(name string, value, high int64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	gauges := make([]*Gauge, len(names))
+	for i, n := range names {
+		gauges[i] = r.gauges[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, gauges[i].Value(), gauges[i].High())
+	}
 }
 
 // Map returns the snapshot as a flat name → value map (the shape the

@@ -85,3 +85,87 @@ func TestWriteHistText(t *testing.T) {
 		t.Fatalf("parsed histogram: %v", parsed)
 	}
 }
+
+// TestGaugeHighWaterRoundTrip pins the high-water export contract: the _max
+// sample survives the gauge draining back to zero, labeled gauges put the
+// suffix on the metric name (before the label block, so the exposition stays
+// spec-conformant), and everything round-trips through the parser.
+func TestGaugeHighWaterRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	plain := r.Gauge("replay_inflight")
+	plain.Add(9)
+	plain.Add(-9) // drained: value 0, peak 9
+	labeled := r.Gauge(`pool_warm{cluster="egs docker"}`)
+	labeled.Set(5)
+	labeled.Set(0)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	// Every sample line must carry a well-formed metric name: no characters
+	// after the closing label brace (the pre-fix exporter emitted
+	// `pool_warm{...}_max`, which a conformant scraper rejects outright).
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.IndexByte(line, '}'); i >= 0 {
+			if rest := line[i+1:]; !strings.HasPrefix(rest, " ") {
+				t.Fatalf("malformed sample line (text after label block): %q", line)
+			}
+		}
+	}
+	if !strings.Contains(text, "# TYPE pool_warm_max gauge") {
+		t.Fatalf("missing TYPE header for pool_warm_max:\n%s", text)
+	}
+
+	parsed, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"replay_inflight":                     0,
+		"replay_inflight_max":                 9,
+		`pool_warm{cluster="egs docker"}`:     0,
+		`pool_warm_max{cluster="egs docker"}`: 5,
+	} {
+		if got, ok := parsed[name]; !ok || got != want {
+			t.Fatalf("round trip %s = %v (present=%v), want %v\n%s", name, got, ok, want, text)
+		}
+	}
+}
+
+// TestGaugeRaiseHigh pins the aggregator hook: RaiseHigh lifts only the
+// peak, never the instantaneous value, and is monotone.
+func TestGaugeRaiseHigh(t *testing.T) {
+	var g Gauge
+	g.RaiseHigh(4)
+	g.RaiseHigh(2)
+	if g.Value() != 0 || g.High() != 4 {
+		t.Fatalf("value/high = %d/%d, want 0/4", g.Value(), g.High())
+	}
+	var nilG *Gauge
+	nilG.RaiseHigh(1) // must not panic
+}
+
+// TestRegistryEachGauge checks deterministic (sorted) gauge iteration.
+func TestRegistryEachGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("bbb").Set(2)
+	r.Gauge("aaa").Set(1)
+	var names []string
+	r.EachGauge(func(name string, v, hi int64) {
+		names = append(names, name)
+		if v != hi {
+			t.Fatalf("%s: value %d != high %d", name, v, hi)
+		}
+	})
+	if len(names) != 2 || names[0] != "aaa" || names[1] != "bbb" {
+		t.Fatalf("EachGauge order = %v, want [aaa bbb]", names)
+	}
+	var nilR *Registry
+	nilR.EachGauge(func(string, int64, int64) { t.Fatal("nil registry yielded") })
+}

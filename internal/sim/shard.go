@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ShardGroup runs one simulated scenario across several kernels using
@@ -51,6 +52,20 @@ type ShardGroup struct {
 	msgSeq  []uint64 // per source domain
 	pending []shardMsg
 	busy    []*Kernel // per-window scratch
+	busyIdx []int     // kernel index of each busy entry (stats)
+
+	// Window-loop introspection (GroupStats), all indexed by kernel. The
+	// counters observe work the loop already did; wall-clock stall probes
+	// are gated behind wallStats because time.Now() is not free.
+	windows   uint64
+	busyWins  []uint64
+	idleWins  []uint64
+	sentMsgs  []uint64
+	recvMsgs  []uint64
+	vStall    []Time
+	wStall    []time.Duration
+	wallDone  []time.Duration // per-window scratch: worker completion offsets
+	wallStats bool
 }
 
 // shardMsg is one cross-domain message: run fn at time at on dst's kernel.
@@ -86,6 +101,13 @@ func NewShardGroup(domains, shards int, seed int64, lookahead Time) *ShardGroup 
 		msgSeq:   make([]uint64, domains),
 		kernels:  make([]*Kernel, shards),
 		outbox:   make([][]shardMsg, shards),
+		busyWins: make([]uint64, shards),
+		idleWins: make([]uint64, shards),
+		sentMsgs: make([]uint64, shards),
+		recvMsgs: make([]uint64, shards),
+		vStall:   make([]Time, shards),
+		wStall:   make([]time.Duration, shards),
+		wallDone: make([]time.Duration, shards),
 	}
 	for i := range g.kernels {
 		g.kernels[i] = New(seed + int64(i))
@@ -123,6 +145,7 @@ func (g *ShardGroup) Send(src, dst int, at Time, fn func()) {
 	}
 	g.msgSeq[src]++
 	ki := g.domainOf[src]
+	g.sentMsgs[ki]++
 	g.outbox[ki] = append(g.outbox[ki], shardMsg{at: at, dst: dst, src: src, seq: g.msgSeq[src], fn: fn})
 }
 
@@ -150,7 +173,9 @@ func (g *ShardGroup) drain() {
 		return a.seq < b.seq
 	})
 	for _, m := range g.pending {
-		g.kernels[g.domainOf[m.dst]].At(m.at, m.fn)
+		ki := g.domainOf[m.dst]
+		g.recvMsgs[ki]++
+		g.kernels[ki].At(m.at, m.fn)
 	}
 	for i := range g.pending {
 		g.pending[i].fn = nil
@@ -201,24 +226,63 @@ func (g *ShardGroup) run(limit Time) {
 // has work, in parallel when more than one does. Workers touch disjoint
 // state: their own kernel plus their own outbox slot.
 func (g *ShardGroup) window(horizon Time) {
+	g.windows++
 	busy := g.busy[:0]
-	for _, k := range g.kernels {
+	busyIdx := g.busyIdx[:0]
+	for i, k := range g.kernels {
 		if w, ok := k.nextWhen(horizon); ok && w < horizon {
 			busy = append(busy, k)
+			busyIdx = append(busyIdx, i)
+			g.busyWins[i]++
+		} else {
+			g.idleWins[i]++
 		}
 	}
 	g.busy = busy[:0]
+	g.busyIdx = busyIdx[:0]
 	if len(busy) == 1 {
 		busy[0].RunUntilBefore(horizon)
+		g.noteVirtualStall(busyIdx[0], horizon)
 		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(busy))
-	for _, k := range busy {
-		go func(k *Kernel) {
+	wall := g.wallStats
+	var start time.Time
+	if wall {
+		start = time.Now()
+	}
+	for wi, k := range busy {
+		go func(wi int, k *Kernel) {
 			defer wg.Done()
 			k.RunUntilBefore(horizon)
-		}(k)
+			if wall {
+				g.wallDone[wi] = time.Since(start)
+			}
+		}(wi, k)
 	}
 	wg.Wait()
+	for _, ki := range busyIdx {
+		g.noteVirtualStall(ki, horizon)
+	}
+	if wall {
+		slowest := time.Duration(0)
+		for wi := range busy {
+			if g.wallDone[wi] > slowest {
+				slowest = g.wallDone[wi]
+			}
+		}
+		for wi, ki := range busyIdx {
+			g.wStall[ki] += slowest - g.wallDone[wi]
+		}
+	}
+}
+
+// noteVirtualStall records how far short of the window horizon a busy
+// shard's clock stopped: virtual time it spent at the barrier with nothing
+// left to run.
+func (g *ShardGroup) noteVirtualStall(ki int, horizon Time) {
+	if now := g.kernels[ki].now; now < horizon {
+		g.vStall[ki] += horizon - now
+	}
 }

@@ -77,6 +77,13 @@ type timerWheel struct {
 	// overflow is a min-heap on (when, seq) of entries beyond the wheel
 	// horizon; sweep promotes them into the wheel as swept approaches.
 	overflow []timerEntry
+
+	// Introspection counters (sim.KernelStats). Plain increments on paths
+	// that already do real work — never read on the hot path, never fed back
+	// into scheduling decisions.
+	cascades   uint64 // live entries moved down a level by sweep's cascade
+	promotions uint64 // entries promoted from the overflow heap into slots
+	nearHigh   int    // near-heap occupancy high-water mark
 }
 
 // init carves every slot's initial capacity out of one arena allocation.
@@ -120,6 +127,9 @@ func (w *timerWheel) entries() int {
 func (w *timerWheel) add(e timerEntry) {
 	if e.when < w.swept {
 		entryHeapPush(&w.near, e)
+		if len(w.near) > w.nearHigh {
+			w.nearHigh = len(w.near)
+		}
 		return
 	}
 	for l := 0; l < wheelLevels; l++ {
@@ -200,6 +210,7 @@ func (w *timerWheel) sweep(limit Time) bool {
 		// Promote far-future entries that now fit under the horizon.
 		for len(w.overflow) > 0 && (w.overflow[0].when>>topShift)-(w.swept>>topShift) < wheelSlots {
 			w.add(entryHeapPop(&w.overflow))
+			w.promotions++
 		}
 		total := 0
 		for _, c := range w.counts {
@@ -232,6 +243,7 @@ func (w *timerWheel) sweep(limit Time) bool {
 			for _, e := range *s {
 				if e.live() {
 					w.add(e)
+					w.cascades++
 				}
 			}
 			for i := range *s {
@@ -316,6 +328,9 @@ func (w *timerWheel) collect(s *[]timerEntry) {
 		(*s)[i].ev = nil
 	}
 	*s = (*s)[:0]
+	if len(w.near) > w.nearHigh {
+		w.nearHigh = len(w.near)
+	}
 }
 
 // entryHeapPush / entryHeapPop implement a plain value min-heap on
